@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 5 (VIT padding).
+
+Figure 5(a): empirical detection rate versus the timer standard deviation
+``sigma_T`` at a fixed sample size — the rate collapses to the 50 % floor as
+``sigma_T`` exceeds the gateway's own jitter.
+Figure 5(b): theoretical sample size needed for 99 % detection versus
+``sigma_T`` — it explodes beyond anything an adversary could collect (the
+paper quotes > 1e11 intervals at ``sigma_T`` = 1 ms).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import CollectionMode, Fig5Config, Fig5Experiment
+
+
+def test_fig5_vit_padding(benchmark, record_figure):
+    config = Fig5Config(
+        sigma_t_values=(0.0, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3),
+        sample_size=2000,
+        trials=15,
+        mode=CollectionMode.SIMULATION,
+        seed=2003,
+    )
+    result = run_once(benchmark, Fig5Experiment(config).run)
+    record_figure("fig5_vit_padding", result.to_text())
+
+    # Shape checks: CIT point is detectable, the largest sigma_T is not.
+    # (Thresholds allow for the sampling noise of a 15-trial empirical point.)
+    assert result.empirical_detection_rate["variance"][0.0] > 0.9
+    assert result.empirical_detection_rate["entropy"][0.0] > 0.75
+    for feature in ("variance", "entropy"):
+        assert result.empirical_detection_rate[feature][1e-3] < 0.65
+    # Figure 5(b): required sample size grows without practical bound.
+    assert result.required_sample_for_target["variance"][1e-3] > 1e8
+    assert result.required_sample_for_target["entropy"][1e-2] > 1e12

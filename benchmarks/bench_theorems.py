@@ -1,0 +1,64 @@
+"""Benchmark: the analytical framework itself (Section 4 / Figure 2).
+
+Regenerates the closed-form detection-rate surfaces of Theorems 1-3 over a
+grid of variance ratios and sample sizes, next to the exact Bayes rates for
+the same Gaussian model, and times how long the whole analytical sweep takes
+(it should be effectively instantaneous — that is the point of having closed
+forms instead of simulating).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import (
+    detection_rate_entropy,
+    detection_rate_mean,
+    detection_rate_mean_exact,
+    detection_rate_variance,
+    detection_rate_variance_exact,
+)
+from repro.experiments import format_table
+
+
+def _sweep():
+    ratios = (1.0, 1.2, 1.5, 2.0, 3.0, 5.0)
+    sample_sizes = (10, 100, 1000, 10_000)
+    rows = []
+    for r in ratios:
+        for n in sample_sizes:
+            rows.append(
+                (
+                    r,
+                    n,
+                    detection_rate_mean(r),
+                    detection_rate_mean_exact(r),
+                    detection_rate_variance(r, n),
+                    detection_rate_variance_exact(r, n),
+                    detection_rate_entropy(r, n),
+                )
+            )
+    return rows
+
+
+def test_theorem_surfaces(benchmark, record_figure):
+    rows = run_once(benchmark, _sweep)
+    table = format_table(
+        [
+            "r",
+            "n",
+            "mean (thm 1)",
+            "mean (exact)",
+            "variance (thm 2)",
+            "variance (exact)",
+            "entropy (thm 3)",
+        ],
+        rows,
+    )
+    record_figure("theorem_surfaces", table + "\n")
+
+    values = np.array([row[2:] for row in rows], dtype=float)
+    assert np.all(values >= 0.5) and np.all(values <= 1.0)
+    # The approximations never exceed the exact Bayes rate by a wide margin.
+    assert np.all(values[:, 2] <= values[:, 3] + 0.05)

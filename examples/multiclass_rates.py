@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Extension: distinguishing more than two payload rates (Section 6).
+
+The paper evaluates a two-rate system and notes that the attack extends to
+multiple rates with more off-line training.  This example builds a four-rate
+scenario (10 / 20 / 40 / 80 pps), trains the KDE Bayes classifier on padded
+captures of each rate, and prints the confusion matrix and per-rate detection
+rates under CIT and VIT padding.
+
+The captures are produced by the event simulator (one sender gateway per
+payload rate), so the payload-rate-dependent gateway jitter the attack relies
+on is mechanistic, not assumed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary import (
+    Tap,
+    VarianceFeature,
+    empirical_detection_rate,
+    train_classifier,
+)
+from repro.adversary.multiclass import random_guessing_rate
+from repro.experiments import format_table
+from repro.padding import InterruptDisturbance, PaddingPolicy, SenderGateway, cit_policy, vit_policy
+from repro.sim import RandomStreams, Simulator
+from repro.traffic import PoissonSource
+
+RATES_PPS = (10.0, 20.0, 40.0, 80.0)
+SAMPLE_SIZE = 1000
+TRIALS = 12
+SEED = 99
+
+
+def capture(policy: PaddingPolicy, seed_offset: str) -> dict:
+    """Simulate the padded link once per payload rate and return PIAT captures."""
+    streams = RandomStreams(seed=SEED)
+    captures = {}
+    needed = SAMPLE_SIZE * TRIALS
+    for rate in RATES_PPS:
+        simulator = Simulator()
+        tap = Tap(simulator)
+        gateway = SenderGateway(
+            simulator,
+            policy.make_timer(),
+            output=tap,
+            rng=streams.get(f"gw-{seed_offset}-{rate}"),
+            disturbance=InterruptDisturbance(),
+        )
+        source = PoissonSource(
+            simulator,
+            gateway.accept_payload,
+            rate=rate,
+            rng=streams.get(f"payload-{seed_offset}-{rate}"),
+        )
+        gateway.start()
+        source.start()
+        simulator.run(until=2.0 + (needed + 20) * policy.mean_interval)
+        captures[f"{rate:.0f}pps"] = tap.intervals(since=2.0)[:needed]
+    return captures
+
+
+def evaluate(policy: PaddingPolicy) -> None:
+    print(f"--- {policy.describe()} ---")
+    feature = VarianceFeature()
+    train = capture(policy, "train")
+    test = capture(policy, "test")
+    classifier = train_classifier(train, feature, SAMPLE_SIZE, max_samples_per_class=TRIALS)
+    result = empirical_detection_rate(
+        classifier, test, feature, SAMPLE_SIZE, max_samples_per_class=TRIALS
+    )
+
+    labels = sorted(result.confusion)
+    rows = [
+        (true, *[result.confusion[true][predicted] for predicted in labels])
+        for true in labels
+    ]
+    print(format_table(["true \\ predicted"] + labels, rows))
+    print()
+    print(
+        format_table(
+            ["payload rate", "detection rate"],
+            sorted(result.per_class_rates.items()),
+        )
+    )
+    print(
+        f"overall detection rate: {result.detection_rate:.2f} "
+        f"(random guessing among {len(RATES_PPS)} rates: "
+        f"{random_guessing_rate(len(RATES_PPS)):.2f})\n"
+    )
+
+
+def main() -> None:
+    np.set_printoptions(precision=3)
+    print(f"Four payload rates: {RATES_PPS} pps, sample size {SAMPLE_SIZE}\n")
+    evaluate(cit_policy())
+    evaluate(vit_policy(sigma_t=1e-3))
+    print(
+        "CIT padding leaks enough for the adversary to tell four rates apart far\n"
+        "better than chance; VIT padding pushes the confusion matrix back toward\n"
+        "uniform — the Section 6 extension behaves exactly like the two-rate case."
+    )
+
+
+if __name__ == "__main__":
+    main()

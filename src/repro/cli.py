@@ -1,0 +1,151 @@
+"""Command-line entry point: regenerate any of the paper's figures.
+
+``python -m repro <figure> [options]`` runs one experiment with a
+configuration scaled by ``--preset`` and prints the regenerated rows:
+
+```
+python -m repro fig4                   # full event simulation, paper-like sizes
+python -m repro fig5 --preset quick    # small/fast configuration
+python -m repro fig6 --preset fast     # hybrid network model, full sweep
+python -m repro fig8 --seed 7 --output fig8.txt
+```
+
+The CLI is a thin veneer over :mod:`repro.experiments`; anything beyond
+preset/seed/output selection is done in Python against the ``Fig*Config``
+dataclasses directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence
+
+from repro._version import __version__
+from repro.experiments import (
+    CollectionMode,
+    Fig4Config,
+    Fig4Experiment,
+    Fig5Config,
+    Fig5Experiment,
+    Fig6Config,
+    Fig6Experiment,
+    Fig8Config,
+    Fig8Experiment,
+)
+
+#: Presets trade fidelity against run time.  ``paper`` uses full event
+#: simulation with figure-like sample sizes; ``fast`` switches the network to
+#: the hybrid/analytic models; ``quick`` additionally shrinks the sweeps so
+#: every figure finishes in a few seconds (used by the CLI tests).
+PRESETS = ("paper", "fast", "quick")
+
+
+def _fig4_config(preset: str, seed: int) -> Fig4Config:
+    if preset == "paper":
+        return Fig4Config(seed=seed)
+    if preset == "fast":
+        return Fig4Config(trials=20, mode=CollectionMode.ANALYTIC, seed=seed)
+    return Fig4Config(
+        sample_sizes=(50, 200, 1000), trials=10, mode=CollectionMode.ANALYTIC, seed=seed
+    )
+
+
+def _fig5_config(preset: str, seed: int) -> Fig5Config:
+    if preset == "paper":
+        return Fig5Config(seed=seed)
+    if preset == "fast":
+        return Fig5Config(trials=12, mode=CollectionMode.ANALYTIC, seed=seed)
+    return Fig5Config(
+        sigma_t_values=(0.0, 1e-4, 1e-3),
+        sample_size=500,
+        trials=8,
+        mode=CollectionMode.ANALYTIC,
+        seed=seed,
+    )
+
+
+def _fig6_config(preset: str, seed: int) -> Fig6Config:
+    if preset == "paper":
+        return Fig6Config(seed=seed)
+    if preset == "fast":
+        return Fig6Config(trials=15, mode=CollectionMode.HYBRID, seed=seed)
+    return Fig6Config(
+        utilizations=(0.05, 0.4),
+        sample_size=400,
+        trials=8,
+        mode=CollectionMode.HYBRID,
+        seed=seed,
+    )
+
+
+def _fig8_config(preset: str, seed: int) -> Fig8Config:
+    if preset == "paper":
+        return Fig8Config(seed=seed)
+    if preset == "fast":
+        return Fig8Config(trials=15, mode=CollectionMode.HYBRID, seed=seed)
+    return Fig8Config(
+        hours=(2, 14),
+        sample_size=400,
+        trials=8,
+        mode=CollectionMode.HYBRID,
+        seed=seed,
+    )
+
+
+_FIGURES: Dict[str, Callable[[str, int], object]] = {
+    "fig4": lambda preset, seed: Fig4Experiment(_fig4_config(preset, seed)).run(),
+    "fig5": lambda preset, seed: Fig5Experiment(_fig5_config(preset, seed)).run(),
+    "fig6": lambda preset, seed: Fig6Experiment(_fig6_config(preset, seed)).run(),
+    "fig8": lambda preset, seed: Fig8Experiment(_fig8_config(preset, seed)).run(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed separately for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate a figure of Fu et al., ICPP 2003 (link-padding countermeasures).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "figure",
+        choices=sorted(_FIGURES),
+        help="which evaluation figure to regenerate",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=PRESETS,
+        default="fast",
+        help="fidelity/run-time preset (default: fast)",
+    )
+    parser.add_argument("--seed", type=int, default=2003, help="master random seed")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the report to this file",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the CLI; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    result = _FIGURES[args.figure](args.preset, args.seed)
+    report = result.to_text()
+    print(report)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(report)
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())
+
+
+__all__ = ["build_parser", "main", "PRESETS"]

@@ -1,0 +1,70 @@
+"""Analytical framework: the paper's primary contribution.
+
+Everything in this subpackage is pure computation (no simulation): the
+Gaussian decomposition of the padded traffic's packet inter-arrival time, the
+variance ratio ``r`` that governs detectability, the closed-form detection
+rates of Theorems 1–3, exact numerical Bayes detection rates for the same
+Gaussian model, inversion of the formulas into required sample sizes, and the
+design guidelines that follow from them.
+
+Typical use::
+
+    from repro.core import GaussianPIATModel, detection_rate_variance, sample_size_for_detection
+
+    model = GaussianPIATModel.from_components(
+        tau=0.01, timer_variance=0.0, net_variance=0.0,
+        gw_variance_low=4.5e-10, gw_variance_high=8.1e-10,
+    )
+    r = model.variance_ratio
+    predicted = detection_rate_variance(r, sample_size=1000)
+    needed = sample_size_for_detection(0.99, r, feature="variance")
+"""
+
+from repro.core.exact import (
+    detection_rate_entropy_exact,
+    detection_rate_mean_exact,
+    detection_rate_variance_exact,
+)
+from repro.core.guidelines import (
+    DesignGuideline,
+    padding_bandwidth_overhead,
+    recommend_policy,
+    required_sigma_t,
+    safe_observation_budget,
+)
+from repro.core.model import GaussianPIATModel
+from repro.core.sample_size import (
+    sample_size_for_detection,
+    sample_size_vs_sigma_t,
+    sigma_t_for_sample_size,
+)
+from repro.core.theorems import (
+    detection_rate_entropy,
+    detection_rate_mean,
+    detection_rate_variance,
+    entropy_constant,
+    variance_constant,
+)
+from repro.core.variance_ratio import variance_ratio, variance_ratio_from_model
+
+__all__ = [
+    "GaussianPIATModel",
+    "variance_ratio",
+    "variance_ratio_from_model",
+    "detection_rate_mean",
+    "detection_rate_variance",
+    "detection_rate_entropy",
+    "variance_constant",
+    "entropy_constant",
+    "detection_rate_mean_exact",
+    "detection_rate_variance_exact",
+    "detection_rate_entropy_exact",
+    "sample_size_for_detection",
+    "sample_size_vs_sigma_t",
+    "sigma_t_for_sample_size",
+    "DesignGuideline",
+    "required_sigma_t",
+    "recommend_policy",
+    "padding_bandwidth_overhead",
+    "safe_observation_budget",
+]

@@ -1,0 +1,265 @@
+"""Design guidelines for configuring a link-padding system.
+
+The paper's stated goal is to let a manager "properly configure a system in
+order to minimize the detection rate".  Concretely, the guidance that follows
+from Theorems 1–3 and the evaluations is:
+
+1. **CIT padding is unsafe** whenever the adversary can collect a moderately
+   large sample anywhere on the path — even behind many noisy routers
+   (Figure 8) — because ``r > 1`` whenever the gateway's jitter is
+   payload-dependent.
+2. **VIT padding works** because its timer variance ``sigma_T^2`` appears in
+   both the numerator and the denominator of ``r``, driving it toward 1 and
+   the required attack sample size toward infinity (Figure 5).
+3. The price of padding is bandwidth: the padded rate must be at least the
+   highest payload rate to bound queueing delay, and everything above the
+   current payload rate is dummy overhead.
+
+The helpers below quantify these statements so an operator can pick
+``sigma_T`` (and see the overhead) for a target security level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.sample_size import sample_size_for_detection, sigma_t_for_sample_size
+from repro.core.theorems import (
+    detection_rate_entropy,
+    detection_rate_mean,
+    detection_rate_variance,
+)
+from repro.core.variance_ratio import variance_ratio
+from repro.exceptions import AnalysisError
+from repro.padding.disturbance import InterruptDisturbance
+from repro.padding.policies import PaddingPolicy, cit_policy, vit_policy
+from repro.units import PAPER_HIGH_RATE_PPS, PAPER_LOW_RATE_PPS, PAPER_TIMER_INTERVAL_S
+
+
+def padding_bandwidth_overhead(payload_rate_pps: float, padded_rate_pps: float) -> float:
+    """Fraction of the padded stream that is dummy traffic.
+
+    ``(padded - payload) / padded`` — e.g. the paper's configuration pads a
+    10 pps payload to 100 pps, a 90 % overhead, and a 40 pps payload to
+    100 pps, a 60 % overhead.
+    """
+    if padded_rate_pps <= 0.0:
+        raise AnalysisError("padded rate must be positive")
+    if payload_rate_pps < 0.0:
+        raise AnalysisError("payload rate must be >= 0")
+    if payload_rate_pps > padded_rate_pps:
+        raise AnalysisError(
+            "payload rate exceeds the padded rate; the padding queue would grow "
+            "without bound (pick a shorter timer interval)"
+        )
+    return (padded_rate_pps - payload_rate_pps) / padded_rate_pps
+
+
+def worst_case_detection_rate(
+    sample_size: int,
+    sigma_t: float,
+    disturbance: Optional[InterruptDisturbance] = None,
+    low_rate_pps: float = PAPER_LOW_RATE_PPS,
+    high_rate_pps: float = PAPER_HIGH_RATE_PPS,
+    net_variance: float = 0.0,
+) -> float:
+    """Highest detection rate over the three paper features for one configuration.
+
+    The operator must assume the adversary picks the best feature; with
+    ``net_variance = 0`` this is also the adversary's best tap position
+    (right at the sender gateway), making the result a true worst case.
+    """
+    if sample_size < 2:
+        raise AnalysisError("sample_size must be >= 2")
+    if sigma_t < 0.0:
+        raise AnalysisError("sigma_t must be >= 0")
+    disturbance = disturbance if disturbance is not None else InterruptDisturbance()
+    r = variance_ratio(
+        disturbance.piat_variance(low_rate_pps),
+        disturbance.piat_variance(high_rate_pps),
+        timer_variance=sigma_t**2,
+        net_variance=net_variance,
+    )
+    return max(
+        detection_rate_mean(r),
+        detection_rate_variance(r, sample_size),
+        detection_rate_entropy(r, sample_size),
+    )
+
+
+def required_sigma_t(
+    max_detection_rate: float,
+    max_observable_sample: int,
+    disturbance: Optional[InterruptDisturbance] = None,
+    low_rate_pps: float = PAPER_LOW_RATE_PPS,
+    high_rate_pps: float = PAPER_HIGH_RATE_PPS,
+    net_variance: float = 0.0,
+) -> float:
+    """Smallest ``sigma_T`` keeping the worst-case detection rate below a budget.
+
+    Parameters
+    ----------
+    max_detection_rate:
+        Detection-rate budget in (0.5, 1), e.g. 0.6.
+    max_observable_sample:
+        The largest PIAT sample the operator believes an adversary could
+        realistically collect while the payload stays at one rate.
+    """
+    if not 0.5 < max_detection_rate < 1.0:
+        raise AnalysisError("max_detection_rate must lie in (0.5, 1)")
+    if max_observable_sample < 2:
+        raise AnalysisError("max_observable_sample must be >= 2")
+    disturbance = disturbance if disturbance is not None else InterruptDisturbance()
+
+    # The worst-case detection rate is monotone decreasing in sigma_T, so a
+    # geometric bisection over a generous range finds the boundary.
+    lo, hi = 1e-7, 1.0
+    if (
+        worst_case_detection_rate(
+            max_observable_sample, lo, disturbance, low_rate_pps, high_rate_pps, net_variance
+        )
+        <= max_detection_rate
+    ):
+        return lo
+    if (
+        worst_case_detection_rate(
+            max_observable_sample, hi, disturbance, low_rate_pps, high_rate_pps, net_variance
+        )
+        > max_detection_rate
+    ):
+        raise AnalysisError("no sigma_T below 1 s meets the requested budget")
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)
+        if (
+            worst_case_detection_rate(
+                max_observable_sample, mid, disturbance, low_rate_pps, high_rate_pps, net_variance
+            )
+            <= max_detection_rate
+        ):
+            hi = mid
+        else:
+            lo = mid
+        if hi / lo < 1.0 + 1e-9:
+            break
+    return hi
+
+
+@dataclass(frozen=True)
+class DesignGuideline:
+    """The outcome of a design run: a policy plus the security it buys."""
+
+    policy: PaddingPolicy
+    worst_case_detection: float
+    attack_sample_for_99pct: float
+    bandwidth_overhead_low: float
+    bandwidth_overhead_high: float
+
+    def summary(self) -> str:
+        """Multi-line human-readable description for reports and examples."""
+        attack = (
+            "unbounded"
+            if math.isinf(self.attack_sample_for_99pct)
+            else f"{self.attack_sample_for_99pct:.3g} intervals"
+        )
+        return "\n".join(
+            [
+                self.policy.describe(),
+                f"  worst-case detection rate        : {self.worst_case_detection:.3f}",
+                f"  sample needed for 99% detection  : {attack}",
+                f"  dummy overhead at low payload    : {self.bandwidth_overhead_low:.0%}",
+                f"  dummy overhead at high payload   : {self.bandwidth_overhead_high:.0%}",
+            ]
+        )
+
+
+def recommend_policy(
+    max_detection_rate: float = 0.6,
+    max_observable_sample: int = 100_000,
+    mean_interval: float = PAPER_TIMER_INTERVAL_S,
+    disturbance: Optional[InterruptDisturbance] = None,
+    low_rate_pps: float = PAPER_LOW_RATE_PPS,
+    high_rate_pps: float = PAPER_HIGH_RATE_PPS,
+    net_variance: float = 0.0,
+    safety_factor: float = 2.0,
+) -> DesignGuideline:
+    """End-to-end guideline: pick a VIT policy for a detection-rate budget.
+
+    The recommended ``sigma_T`` is the minimum required value multiplied by
+    ``safety_factor`` (default 2) to absorb modelling error, then capped at
+    40 % of the mean interval so the timer stays physically reasonable.
+    """
+    if safety_factor < 1.0:
+        raise AnalysisError("safety_factor must be >= 1")
+    if high_rate_pps > 1.0 / mean_interval:
+        raise AnalysisError(
+            "the padded rate (1/mean_interval) must be at least the highest "
+            "payload rate, otherwise payload queues without bound"
+        )
+    disturbance = disturbance if disturbance is not None else InterruptDisturbance()
+    minimal = required_sigma_t(
+        max_detection_rate,
+        max_observable_sample,
+        disturbance,
+        low_rate_pps,
+        high_rate_pps,
+        net_variance,
+    )
+    sigma_t = min(minimal * safety_factor, 0.4 * mean_interval)
+    policy = vit_policy(sigma_t=sigma_t, mean_interval=mean_interval)
+    gw_low = disturbance.piat_variance(low_rate_pps)
+    gw_high = disturbance.piat_variance(high_rate_pps)
+    r = variance_ratio(gw_low, gw_high, timer_variance=sigma_t**2, net_variance=net_variance)
+    return DesignGuideline(
+        policy=policy,
+        worst_case_detection=worst_case_detection_rate(
+            max_observable_sample, sigma_t, disturbance, low_rate_pps, high_rate_pps, net_variance
+        ),
+        attack_sample_for_99pct=sample_size_for_detection(0.99, r, feature="entropy"),
+        bandwidth_overhead_low=padding_bandwidth_overhead(low_rate_pps, policy.padded_rate_pps),
+        bandwidth_overhead_high=padding_bandwidth_overhead(high_rate_pps, policy.padded_rate_pps),
+    )
+
+
+def safe_observation_budget(
+    policy: PaddingPolicy,
+    max_detection_rate: float = 0.6,
+    disturbance: Optional[InterruptDisturbance] = None,
+    low_rate_pps: float = PAPER_LOW_RATE_PPS,
+    high_rate_pps: float = PAPER_HIGH_RATE_PPS,
+    net_variance: float = 0.0,
+) -> float:
+    """Largest attack sample size for which a policy stays within the budget.
+
+    For a CIT policy this is typically small (the attack succeeds quickly);
+    for a well-chosen VIT policy it is astronomically large or infinite.
+    Returned in *intervals*; multiply by the policy's mean interval for the
+    observation time.
+    """
+    if not 0.5 < max_detection_rate < 1.0:
+        raise AnalysisError("max_detection_rate must lie in (0.5, 1)")
+    disturbance = disturbance if disturbance is not None else InterruptDisturbance()
+    r = variance_ratio(
+        disturbance.piat_variance(low_rate_pps),
+        disturbance.piat_variance(high_rate_pps),
+        timer_variance=policy.timer_variance,
+        net_variance=net_variance,
+    )
+    if detection_rate_mean(r) > max_detection_rate:
+        return 0.0
+    budgets = []
+    for feature in ("variance", "entropy"):
+        needed = sample_size_for_detection(max_detection_rate, r, feature=feature)
+        budgets.append(needed)
+    return float(min(budgets))
+
+
+__all__ = [
+    "padding_bandwidth_overhead",
+    "worst_case_detection_rate",
+    "required_sigma_t",
+    "DesignGuideline",
+    "recommend_policy",
+    "safe_observation_budget",
+]

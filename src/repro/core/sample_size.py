@@ -1,0 +1,145 @@
+"""Sample-size arithmetic: how long must the adversary observe?
+
+Figure 5(b) of the paper asks the design question in reverse: for a given VIT
+setting, how many packet inter-arrival times does the adversary need to reach
+a target detection rate?  Inverting Theorems 2 and 3 gives
+
+``n_variance(p) = C_Y(r) / (1 - p) + 1``     and
+``n_entropy(p)  = C_H(r) / n`` inverted to ``C_H(r) / (1 - p)``
+
+which explode as ``sigma_T`` pushes ``r`` toward 1 — the quantitative version
+of "VIT padding makes the attack need astronomically many packets".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.theorems import detection_rate_mean, entropy_constant, variance_constant
+from repro.core.variance_ratio import check_ratio, variance_ratio
+from repro.exceptions import AnalysisError
+from repro.padding.disturbance import InterruptDisturbance
+from repro.units import PAPER_HIGH_RATE_PPS, PAPER_LOW_RATE_PPS
+
+
+def _check_target(target_detection_rate: float) -> float:
+    p = float(target_detection_rate)
+    if not 0.5 < p < 1.0:
+        raise AnalysisError(
+            f"target detection rate must lie in (0.5, 1), got {target_detection_rate!r}"
+        )
+    return p
+
+
+def sample_size_for_detection(
+    target_detection_rate: float, r: float, feature: str = "variance"
+) -> float:
+    """Sample size needed to reach ``target_detection_rate`` with the given feature.
+
+    Returns ``math.inf`` when the target is unreachable (``r = 1``, or any
+    target above the Theorem 1 ceiling when the feature is the sample mean).
+    """
+    p = _check_target(target_detection_rate)
+    r = check_ratio(r)
+    key = feature.strip().lower()
+    if key == "mean":
+        # Sample size has no effect; either the asymptotic rate already meets
+        # the target (any n works -> report the minimum useful sample) or it
+        # never will.
+        return 2.0 if detection_rate_mean(r) >= p else math.inf
+    if key == "variance":
+        constant = variance_constant(r)
+        return math.inf if math.isinf(constant) else constant / (1.0 - p) + 1.0
+    if key == "entropy":
+        constant = entropy_constant(r)
+        return math.inf if math.isinf(constant) else constant / (1.0 - p)
+    raise AnalysisError(f"no sample-size formula for feature {feature!r}")
+
+
+def sample_size_vs_sigma_t(
+    sigma_t_values: Sequence[float],
+    target_detection_rate: float = 0.99,
+    feature: str = "variance",
+    disturbance: Optional[InterruptDisturbance] = None,
+    low_rate_pps: float = PAPER_LOW_RATE_PPS,
+    high_rate_pps: float = PAPER_HIGH_RATE_PPS,
+    net_variance: float = 0.0,
+) -> np.ndarray:
+    """The Figure 5(b) curve: required sample size as a function of ``sigma_T``.
+
+    For each candidate timer standard deviation, the variance ratio is
+    computed from the (calibrated) gateway disturbance model and the formula
+    of :func:`sample_size_for_detection` is applied.
+    """
+    disturbance = disturbance if disturbance is not None else InterruptDisturbance()
+    gw_low = disturbance.piat_variance(low_rate_pps)
+    gw_high = disturbance.piat_variance(high_rate_pps)
+    results = []
+    for sigma_t in sigma_t_values:
+        if sigma_t < 0.0:
+            raise AnalysisError("sigma_T values must be >= 0")
+        r = variance_ratio(gw_low, gw_high, timer_variance=sigma_t**2, net_variance=net_variance)
+        results.append(sample_size_for_detection(target_detection_rate, r, feature=feature))
+    return np.asarray(results, dtype=float)
+
+
+def sigma_t_for_sample_size(
+    minimum_required_sample: float,
+    target_detection_rate: float = 0.99,
+    feature: str = "variance",
+    disturbance: Optional[InterruptDisturbance] = None,
+    low_rate_pps: float = PAPER_LOW_RATE_PPS,
+    high_rate_pps: float = PAPER_HIGH_RATE_PPS,
+    net_variance: float = 0.0,
+    sigma_t_bounds: tuple = (1e-7, 1.0),
+) -> float:
+    """Smallest ``sigma_T`` that forces the adversary to need at least the given sample.
+
+    This is the design-guideline direction: the operator picks how large a
+    sample they consider infeasible for an attacker to collect at a constant
+    payload rate (e.g. 1e9 intervals ≈ four months of 10 ms padding), and the
+    function returns the timer standard deviation that guarantees it.  Solved
+    by bisection on the monotone map ``sigma_T -> n(p)``.
+    """
+    if minimum_required_sample <= 2:
+        raise AnalysisError("minimum_required_sample must exceed 2")
+    p = _check_target(target_detection_rate)
+    disturbance = disturbance if disturbance is not None else InterruptDisturbance()
+    lo, hi = (float(sigma_t_bounds[0]), float(sigma_t_bounds[1]))
+    if not 0.0 < lo < hi:
+        raise AnalysisError("sigma_t_bounds must satisfy 0 < low < high")
+
+    def required_sample(sigma_t: float) -> float:
+        sizes = sample_size_vs_sigma_t(
+            [sigma_t],
+            target_detection_rate=p,
+            feature=feature,
+            disturbance=disturbance,
+            low_rate_pps=low_rate_pps,
+            high_rate_pps=high_rate_pps,
+            net_variance=net_variance,
+        )
+        return float(sizes[0])
+
+    if required_sample(lo) >= minimum_required_sample:
+        return lo
+    if required_sample(hi) < minimum_required_sample:
+        raise AnalysisError(
+            "even the largest sigma_T in sigma_t_bounds does not force the "
+            "requested sample size; widen the bounds"
+        )
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)  # geometric bisection: sigma_T spans decades
+        if required_sample(mid) >= minimum_required_sample:
+            hi = mid
+        else:
+            lo = mid
+        if hi / lo < 1.0 + 1e-9:
+            break
+    return hi
+
+
+__all__ = ["sample_size_for_detection", "sample_size_vs_sigma_t", "sigma_t_for_sample_size"]

@@ -1,0 +1,90 @@
+"""The variance ratio ``r`` (equation (16)).
+
+Every closed-form detection rate in the paper depends on the padded traffic's
+PIAT variances conditioned on the two payload rates only through their ratio
+
+``r = sigma_h^2 / sigma_l^2
+    = (sigma_T^2 + sigma_net^2 + sigma_gw,h^2) /
+      (sigma_T^2 + sigma_net^2 + sigma_gw,l^2)  >= 1``
+
+The formula makes the paper's design story explicit: the payload-dependent
+gateway term ``sigma_gw`` is the leak, and both the timer variance
+``sigma_T^2`` (VIT padding) and the network disturbance ``sigma_net^2``
+(a noisy tap position) dilute it, pushing ``r`` toward 1 and the detection
+rate toward the 50 % floor.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import AnalysisError
+
+
+def variance_ratio(
+    gw_variance_low: float,
+    gw_variance_high: float,
+    timer_variance: float = 0.0,
+    net_variance: float = 0.0,
+) -> float:
+    """Compute ``r`` from its four components (all in seconds squared).
+
+    Parameters
+    ----------
+    gw_variance_low, gw_variance_high:
+        PIAT variance contributed by the gateway disturbance under the low
+        and high payload rates (``sigma_gw,l^2`` and ``sigma_gw,h^2``).
+    timer_variance:
+        ``sigma_T^2`` of the padding timer; 0 for CIT.
+    net_variance:
+        ``sigma_net^2`` added by the unprotected network at the tap position;
+        0 when the adversary taps right at the sender gateway.
+
+    Raises
+    ------
+    AnalysisError
+        If any variance is negative, if the denominator is zero (a fully
+        deterministic padded stream, for which the Gaussian model is
+        degenerate), or if ``gw_variance_high < gw_variance_low`` (the model
+        requires the high-rate disturbance to be at least as large).
+    """
+    for name, value in (
+        ("gw_variance_low", gw_variance_low),
+        ("gw_variance_high", gw_variance_high),
+        ("timer_variance", timer_variance),
+        ("net_variance", net_variance),
+    ):
+        if value < 0.0:
+            raise AnalysisError(f"{name} must be >= 0, got {value!r}")
+    if gw_variance_high < gw_variance_low:
+        raise AnalysisError(
+            "gw_variance_high must be >= gw_variance_low; the gateway disturbance "
+            "grows with the payload rate in this model"
+        )
+    denominator = timer_variance + net_variance + gw_variance_low
+    if denominator <= 0.0:
+        raise AnalysisError(
+            "total low-rate PIAT variance is zero; a perfectly deterministic "
+            "padded stream has no Gaussian model (and nothing to detect)"
+        )
+    numerator = timer_variance + net_variance + gw_variance_high
+    return float(numerator / denominator)
+
+
+def variance_ratio_from_model(model) -> float:
+    """``r`` of a :class:`repro.core.model.GaussianPIATModel` (convenience)."""
+    return model.variance_ratio
+
+
+def check_ratio(r: float) -> float:
+    """Validate a variance ratio and return it as ``float``.
+
+    Shared by the theorem implementations: ``r`` must be finite and >= 1.
+    """
+    r = float(r)
+    if not r >= 1.0:
+        raise AnalysisError(f"variance ratio must be >= 1, got {r!r}")
+    if r == float("inf"):
+        raise AnalysisError("variance ratio must be finite")
+    return r
+
+
+__all__ = ["variance_ratio", "variance_ratio_from_model", "check_ratio"]

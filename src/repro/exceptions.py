@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError``, ``ValueError`` raised by NumPy,
+etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object contains invalid or inconsistent values."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid internal state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or after the simulation horizon."""
+
+
+class TrafficError(ReproError):
+    """A traffic source or schedule was asked to do something impossible."""
+
+
+class PaddingError(ReproError):
+    """A padding gateway was misconfigured or driven outside its contract."""
+
+
+class NetworkError(ReproError):
+    """A network element (link, router, topology) is invalid."""
+
+
+class AnalysisError(ReproError):
+    """A statistical or analytical computation cannot be carried out."""
+
+
+class TrainingError(AnalysisError):
+    """The adversary classifier cannot be trained from the supplied data."""
+
+
+class NotFittedError(AnalysisError):
+    """A model was used before being fitted/trained."""
+
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulingError",
+    "TrafficError",
+    "PaddingError",
+    "NetworkError",
+    "AnalysisError",
+    "TrainingError",
+    "NotFittedError",
+]

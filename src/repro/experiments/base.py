@@ -1,0 +1,349 @@
+"""Shared machinery for the figure experiments.
+
+The central primitive is :func:`collect_labelled_intervals`: given a padding
+policy, the two (or more) candidate payload rates and a description of the
+unprotected path, produce one long labelled PIAT capture per payload rate —
+the raw material for both off-line training and run-time classification.
+
+Three collection modes trade fidelity against run time:
+
+``simulation``
+    Full event-driven simulation: Poisson payload source → sender gateway
+    (timer + interrupt disturbance) → chain of FIFO routers with cross
+    traffic → tap.  This is the closest analogue of the paper's testbed.
+
+``hybrid``
+    The gateway is simulated event-by-event (so the payload-dependent jitter
+    is mechanistic, not assumed), but the network is applied analytically:
+    each captured packet receives an independent queueing delay drawn from a
+    normal distribution whose variance comes from the M/D/1 model of
+    :mod:`repro.network.delay_models`.  Used for the 24-hour, 15-hop WAN
+    runs, where full simulation would take hours of CPU for no change in the
+    measured shape.
+
+``analytic``
+    PIATs are drawn directly from the calibrated Gaussian model
+    (:class:`repro.core.model.GaussianPIATModel`).  Fastest; used in unit
+    tests and quick what-if runs.
+
+A note on the payload process: the experiments drive the gateway with
+**Poisson** payload at the configured rate rather than a perfectly periodic
+source.  A perfectly periodic payload whose period is an exact multiple of
+the padding timer's period can phase-lock with the timer, in which case the
+NIC interrupts always fall just after the padding interrupt and never delay
+it — an artefact of idealised simulation that does not survive contact with
+real clocks.  Poisson arrivals match the independence assumption of the
+analytical model and of the paper's testbed traffic generator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.adversary.tap import Tap
+from repro.core.model import GaussianPIATModel
+from repro.exceptions import ConfigurationError
+from repro.network.delay_models import path_piat_variance
+from repro.network.path import UnprotectedPath
+from repro.network.crosstraffic import cross_traffic_rate_for_utilization
+from repro.padding.disturbance import InterruptDisturbance
+from repro.padding.gateway import SenderGateway
+from repro.padding.policies import PaddingPolicy, cit_policy
+from repro.padding.receiver import ReceiverGateway
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.traffic.sources import PoissonSource
+from repro.units import (
+    PAPER_HIGH_RATE_PPS,
+    PAPER_LOW_RATE_PPS,
+    PAPER_PACKET_SIZE_BYTES,
+)
+
+
+class CollectionMode(str, enum.Enum):
+    """How labelled PIAT captures are produced."""
+
+    SIMULATION = "simulation"
+    HYBRID = "hybrid"
+    ANALYTIC = "analytic"
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One padded-link scenario: policy, payload rates and tap environment.
+
+    Attributes
+    ----------
+    policy:
+        Padding policy at the sender gateway.
+    low_rate_pps, high_rate_pps:
+        The candidate payload rates the adversary must distinguish.
+    disturbance:
+        Gateway interrupt-disturbance model.
+    n_hops:
+        Number of routers between the gateway and the adversary's tap.
+    link_rate_bps:
+        Output-link rate of each router.
+    cross_utilization:
+        Total utilization (padded + cross) of each router's output link.
+    packet_size_bytes:
+        Constant packet size on the padded link.
+    warmup_time:
+        Simulated seconds discarded at the start of every capture.
+    """
+
+    policy: PaddingPolicy = field(default_factory=cit_policy)
+    low_rate_pps: float = PAPER_LOW_RATE_PPS
+    high_rate_pps: float = PAPER_HIGH_RATE_PPS
+    disturbance: InterruptDisturbance = field(default_factory=InterruptDisturbance)
+    n_hops: int = 0
+    link_rate_bps: float = 80e6
+    cross_utilization: float = 0.0
+    packet_size_bytes: int = PAPER_PACKET_SIZE_BYTES
+    warmup_time: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.high_rate_pps <= self.low_rate_pps:
+            raise ConfigurationError("high_rate_pps must exceed low_rate_pps")
+        if self.high_rate_pps > self.policy.padded_rate_pps:
+            raise ConfigurationError(
+                "the padded rate (1/mean_interval) must cover the highest payload rate"
+            )
+        if self.n_hops < 0:
+            raise ConfigurationError("n_hops must be >= 0")
+        if not 0.0 <= self.cross_utilization < 1.0:
+            raise ConfigurationError("cross_utilization must lie in [0, 1)")
+        if self.cross_utilization > 0.0 and self.n_hops == 0:
+            raise ConfigurationError("cross traffic requires at least one hop")
+        if self.warmup_time < 0.0:
+            raise ConfigurationError("warmup_time must be >= 0")
+
+    # ------------------------------------------------------------- utilities
+    @property
+    def rate_labels(self) -> Dict[str, float]:
+        """Mapping from class label to payload rate in pps."""
+        return {"low": self.low_rate_pps, "high": self.high_rate_pps}
+
+    @property
+    def hop_service_time(self) -> float:
+        """Per-hop serialisation time of one padded packet."""
+        return self.packet_size_bytes * 8.0 / self.link_rate_bps
+
+    def with_cross_utilization(self, utilization: float) -> "ScenarioConfig":
+        """Copy of this scenario at a different shared-link utilization."""
+        return replace(self, cross_utilization=utilization)
+
+    def net_piat_variance(self) -> float:
+        """Analytic ``sigma_net^2`` of the path between gateway and tap."""
+        if self.n_hops == 0 or self.cross_utilization == 0.0:
+            return 0.0
+        return path_piat_variance(
+            [self.cross_utilization] * self.n_hops,
+            [self.hop_service_time] * self.n_hops,
+            model="md1",
+        )
+
+    def gaussian_model(self) -> GaussianPIATModel:
+        """The calibrated analytic PIAT model for this scenario."""
+        return GaussianPIATModel.from_components(
+            gw_variance_low=self.disturbance.piat_variance(self.low_rate_pps),
+            gw_variance_high=self.disturbance.piat_variance(self.high_rate_pps),
+            timer_variance=self.policy.timer_variance,
+            net_variance=self.net_piat_variance(),
+            tau=self.policy.mean_interval,
+        )
+
+    def variance_ratio(self) -> float:
+        """The predicted ``r`` for this scenario."""
+        return self.gaussian_model().variance_ratio
+
+
+@dataclass
+class PaddedStreamCapture:
+    """Labelled PIAT captures plus the scenario they came from."""
+
+    scenario: ScenarioConfig
+    mode: CollectionMode
+    intervals: Dict[str, np.ndarray]
+
+    def measured_variance_ratio(self) -> float:
+        """Empirical ``r`` from the captured intervals."""
+        low = float(np.var(self.intervals["low"], ddof=1))
+        high = float(np.var(self.intervals["high"], ddof=1))
+        if low <= 0.0:
+            raise ConfigurationError("low-rate capture has zero variance")
+        return high / low
+
+    def measured_means(self) -> Dict[str, float]:
+        """Empirical PIAT means per class (should all equal ``tau``)."""
+        return {label: float(np.mean(values)) for label, values in self.intervals.items()}
+
+
+# --------------------------------------------------------------------------- collection
+def _simulate_gateway_capture(
+    scenario: ScenarioConfig,
+    payload_rate_pps: float,
+    n_intervals: int,
+    streams: RandomStreams,
+    label: str,
+    with_network: bool,
+) -> np.ndarray:
+    """Run the event simulation for one payload rate and return tap intervals."""
+    simulator = Simulator()
+    tap = Tap(simulator, name=f"tap-{label}")
+    receiver = ReceiverGateway(simulator)
+
+    def exit_sink(packet) -> None:
+        tap.observe(packet)
+        receiver.accept(packet)
+
+    if with_network and scenario.n_hops > 0:
+        path = UnprotectedPath(
+            simulator,
+            exit_sink=exit_sink,
+            n_hops=scenario.n_hops,
+            link_rate_bps=scenario.link_rate_bps,
+            packet_size_bytes=scenario.packet_size_bytes,
+            name=f"path-{label}",
+        )
+        if scenario.cross_utilization > 0.0:
+            cross_rate = cross_traffic_rate_for_utilization(
+                scenario.cross_utilization,
+                scenario.link_rate_bps,
+                scenario.packet_size_bytes,
+                padded_rate_pps=scenario.policy.padded_rate_pps,
+            )
+            for hop in range(scenario.n_hops):
+                path.attach_cross_traffic(
+                    hop, cross_rate, rng=streams.get(f"cross-{label}-hop{hop}")
+                )
+            path.start_cross_traffic()
+        gateway_output = path.entry
+    else:
+        gateway_output = exit_sink
+
+    gateway = SenderGateway(
+        simulator,
+        interval_generator=scenario.policy.make_timer(),
+        output=gateway_output,
+        rng=streams.get(f"gateway-{label}"),
+        disturbance=scenario.disturbance,
+        dummy_size_bytes=scenario.packet_size_bytes,
+    )
+    source = PoissonSource(
+        simulator,
+        gateway.accept_payload,
+        rate=payload_rate_pps,
+        rng=streams.get(f"payload-{label}"),
+        packet_size_bytes=scenario.packet_size_bytes,
+    )
+    gateway.start()
+    source.start()
+
+    # Enough simulated time to capture warmup + the requested intervals, with
+    # a small margin for the packets still in flight across the path.
+    duration = scenario.warmup_time + (n_intervals + 20) * scenario.policy.mean_interval + 0.5
+    simulator.run(until=duration)
+    gateway.stop()
+    source.stop()
+
+    intervals = tap.intervals(since=scenario.warmup_time)
+    if intervals.size < n_intervals:
+        raise ConfigurationError(
+            f"capture for class {label!r} produced only {intervals.size} intervals; "
+            f"{n_intervals} requested (increase the horizon margin)"
+        )
+    return intervals[:n_intervals]
+
+
+def apply_analytic_network_noise(
+    intervals: np.ndarray, scenario: ScenarioConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Add per-packet M/D/1 queueing delays to a gateway-egress capture.
+
+    Each packet's path delay is independent; the PIAT perturbation is the
+    difference of consecutive delays, which reproduces the ``2 Var(W)`` PIAT
+    variance of the analytic model.
+    """
+    net_variance = scenario.net_piat_variance()
+    if net_variance == 0.0:
+        return intervals
+    # net_variance is the PIAT variance (2 Var(W)); per-packet delays need Var(W).
+    per_packet_std = float(np.sqrt(net_variance / 2.0))
+    timestamps = np.concatenate(([0.0], np.cumsum(intervals)))
+    delays = rng.normal(0.0, per_packet_std, size=timestamps.size)
+    perturbed = np.sort(timestamps + delays)
+    return np.diff(perturbed)
+
+
+def collect_labelled_intervals(
+    scenario: ScenarioConfig,
+    n_intervals_per_class: int,
+    mode: CollectionMode = CollectionMode.SIMULATION,
+    seed: int = 0,
+    seed_offset: str = "train",
+) -> PaddedStreamCapture:
+    """Produce one labelled PIAT capture per payload rate.
+
+    Parameters
+    ----------
+    scenario:
+        The padded-link scenario.
+    n_intervals_per_class:
+        Length of each class's capture.
+    mode:
+        Collection mode (see module docstring).
+    seed:
+        Master seed; the same seed and scenario give identical captures.
+    seed_offset:
+        Extra tag mixed into the stream names so that training and test
+        captures of one experiment are independent ("train" / "test").
+    """
+    if n_intervals_per_class < 2:
+        raise ConfigurationError("n_intervals_per_class must be >= 2")
+    mode = CollectionMode(mode)
+    streams = RandomStreams(seed=seed)
+    intervals: Dict[str, np.ndarray] = {}
+    if mode is CollectionMode.ANALYTIC:
+        model = scenario.gaussian_model()
+        for label in scenario.rate_labels:
+            rng = streams.get(f"analytic-{seed_offset}-{label}")
+            intervals[label] = model.sample_intervals(label, n_intervals_per_class, rng=rng)
+    elif mode is CollectionMode.SIMULATION:
+        for label, rate in scenario.rate_labels.items():
+            intervals[label] = _simulate_gateway_capture(
+                scenario,
+                rate,
+                n_intervals_per_class,
+                streams,
+                label=f"{seed_offset}-{label}",
+                with_network=True,
+            )
+    else:  # HYBRID
+        for label, rate in scenario.rate_labels.items():
+            gateway_intervals = _simulate_gateway_capture(
+                scenario,
+                rate,
+                n_intervals_per_class + 1,
+                streams,
+                label=f"{seed_offset}-{label}",
+                with_network=False,
+            )
+            noisy = apply_analytic_network_noise(
+                gateway_intervals, scenario, streams.get(f"net-noise-{seed_offset}-{label}")
+            )
+            intervals[label] = noisy[:n_intervals_per_class]
+    return PaddedStreamCapture(scenario=scenario, mode=mode, intervals=intervals)
+
+
+__all__ = [
+    "CollectionMode",
+    "ScenarioConfig",
+    "PaddedStreamCapture",
+    "collect_labelled_intervals",
+    "apply_analytic_network_noise",
+]

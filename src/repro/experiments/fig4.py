@@ -1,0 +1,209 @@
+"""Figure 4: CIT padding without cross traffic.
+
+Two sub-figures are reproduced:
+
+* **Figure 4(a)** — the conditional PIAT distributions of the padded stream
+  under the low (10 pps) and high (40 pps) payload rates: same mean, high
+  rate slightly wider, both approximately normal.
+* **Figure 4(b)** — detection rate versus sample size for the three feature
+  statistics, empirical (KDE Bayes classifier on captured samples) against
+  the closed-form predictions of Theorems 1–3 and the exact Bayes rates.
+
+The adversary taps right at the sender gateway's output (zero cross traffic),
+the best case for the attacker and hence the worst case for the defender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.adversary.detection import evaluate_attack
+from repro.adversary.features import default_features
+from repro.core.exact import detection_rate_mean_exact, detection_rate_variance_exact
+from repro.core.theorems import (
+    detection_rate_entropy,
+    detection_rate_mean,
+    detection_rate_variance,
+)
+from repro.exceptions import ConfigurationError
+from repro.experiments.base import (
+    CollectionMode,
+    PaddedStreamCapture,
+    ScenarioConfig,
+    collect_labelled_intervals,
+)
+from repro.experiments.report import format_table, render_experiment_report
+from repro.stats.normality import normality_report
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    """Configuration for the Figure 4 reproduction.
+
+    Attributes
+    ----------
+    sample_sizes:
+        Sample sizes (x-axis of Figure 4(b)).
+    trials:
+        Number of training samples *and* number of test samples per class at
+        each sample size.
+    mode:
+        Capture collection mode.
+    seed:
+        Master seed for reproducibility.
+    scenario:
+        Padded-link scenario; the default is the paper's setup (CIT 10 ms,
+        tap at the gateway output, no cross traffic).
+    entropy_bin_width:
+        Histogram bin width used by the sample-entropy feature.
+    """
+
+    sample_sizes: Tuple[int, ...] = (10, 50, 100, 200, 500, 1000, 2000)
+    trials: int = 30
+    mode: CollectionMode = CollectionMode.SIMULATION
+    seed: int = 2003
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    entropy_bin_width: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.sample_sizes:
+            raise ConfigurationError("sample_sizes must be non-empty")
+        if any(n < 2 for n in self.sample_sizes):
+            raise ConfigurationError("every sample size must be >= 2")
+        if self.trials < 2:
+            raise ConfigurationError("trials must be >= 2")
+
+    @property
+    def intervals_per_class(self) -> int:
+        """Capture length needed to form ``trials`` samples of the largest size."""
+        return max(self.sample_sizes) * self.trials
+
+
+@dataclass
+class Fig4Result:
+    """Everything Figure 4 plots, in numeric form."""
+
+    config: Fig4Config
+    r_model: float
+    r_measured: float
+    piat_stats: Dict[str, Dict[str, float]]
+    empirical_detection_rate: Dict[str, Dict[int, float]]
+    theoretical_detection_rate: Dict[str, Dict[int, float]]
+    exact_detection_rate: Dict[str, Dict[int, float]]
+
+    def rows(self):
+        """Figure 4(b) as rows: (feature, sample size, empirical, theory, exact)."""
+        for feature, by_n in sorted(self.empirical_detection_rate.items()):
+            for n, empirical in sorted(by_n.items()):
+                yield (
+                    feature,
+                    n,
+                    empirical,
+                    self.theoretical_detection_rate[feature][n],
+                    self.exact_detection_rate[feature][n],
+                )
+
+    def to_text(self) -> str:
+        """Full text report (both sub-figures)."""
+        piat_rows = [
+            (
+                label,
+                stats["mean"],
+                stats["std"],
+                stats["qq_rms_deviation"],
+                stats["looks_normal"],
+            )
+            for label, stats in sorted(self.piat_stats.items())
+        ]
+        sections = [
+            (
+                "Figure 4(a): padded-traffic PIAT statistics per payload rate",
+                format_table(
+                    ["payload rate", "mean PIAT (s)", "std PIAT (s)", "QQ deviation", "bell-shaped"],
+                    piat_rows,
+                )
+                + f"\n\nvariance ratio r: model={self.r_model:.4f}, measured={self.r_measured:.4f}",
+            ),
+            (
+                "Figure 4(b): detection rate vs sample size",
+                format_table(
+                    ["feature", "sample size", "empirical", "theorem", "exact Bayes"],
+                    self.rows(),
+                ),
+            ),
+        ]
+        return render_experiment_report("Figure 4 — CIT padding, no cross traffic", sections)
+
+
+class Fig4Experiment:
+    """Runs the Figure 4 reproduction."""
+
+    def __init__(self, config: Optional[Fig4Config] = None) -> None:
+        self.config = config if config is not None else Fig4Config()
+
+    def _collect(self, offset: str) -> PaddedStreamCapture:
+        return collect_labelled_intervals(
+            self.config.scenario,
+            self.config.intervals_per_class,
+            mode=self.config.mode,
+            seed=self.config.seed,
+            seed_offset=offset,
+        )
+
+    def run(self) -> Fig4Result:
+        """Collect captures, run the attack at every sample size, compare with theory."""
+        config = self.config
+        train = self._collect("train")
+        test = self._collect("test")
+
+        piat_stats: Dict[str, Dict[str, float]] = {}
+        for label, intervals in test.intervals.items():
+            report = normality_report(intervals)
+            piat_stats[label] = {
+                "mean": report.mean,
+                "std": report.std,
+                "qq_rms_deviation": report.qq_rms_deviation,
+                "looks_normal": report.looks_normal,
+            }
+
+        r_model = config.scenario.variance_ratio()
+        r_measured = test.measured_variance_ratio()
+
+        features = default_features(entropy_bin_width=config.entropy_bin_width)
+        empirical: Dict[str, Dict[int, float]] = {name: {} for name in features}
+        theoretical: Dict[str, Dict[int, float]] = {name: {} for name in features}
+        exact: Dict[str, Dict[int, float]] = {name: {} for name in features}
+        for name, feature in features.items():
+            for n in config.sample_sizes:
+                result = evaluate_attack(
+                    train.intervals,
+                    test.intervals,
+                    feature,
+                    sample_size=n,
+                    max_samples_per_class=config.trials,
+                )
+                empirical[name][n] = result.detection_rate
+                if name == "mean":
+                    theoretical[name][n] = detection_rate_mean(r_model)
+                    exact[name][n] = detection_rate_mean_exact(r_model)
+                elif name == "variance":
+                    theoretical[name][n] = detection_rate_variance(r_model, n)
+                    exact[name][n] = detection_rate_variance_exact(r_model, n)
+                else:
+                    theoretical[name][n] = detection_rate_entropy(r_model, n)
+                    exact[name][n] = detection_rate_variance_exact(r_model, n)
+        return Fig4Result(
+            config=config,
+            r_model=r_model,
+            r_measured=r_measured,
+            piat_stats=piat_stats,
+            empirical_detection_rate=empirical,
+            theoretical_detection_rate=theoretical,
+            exact_detection_rate=exact,
+        )
+
+
+__all__ = ["Fig4Config", "Fig4Experiment", "Fig4Result"]

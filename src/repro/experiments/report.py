@@ -1,0 +1,74 @@
+"""Plain-text reporting helpers shared by the experiments and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.exceptions import AnalysisError
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table.
+
+    Numbers are formatted with four significant digits; everything else with
+    ``str``.  Used by the experiment ``to_text`` methods and by the benchmark
+    harness when it prints the regenerated figure data.
+    """
+    header_list = [str(h) for h in headers]
+    if not header_list:
+        raise AnalysisError("a table needs at least one column")
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        cells = list(row)
+        if len(cells) != len(header_list):
+            raise AnalysisError(
+                f"row has {len(cells)} cells but the table has {len(header_list)} columns"
+            )
+        formatted_rows.append([_format_cell(cell) for cell in cells])
+    widths = [len(h) for h in header_list]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header_list)),
+        "  ".join("-" * widths[i] for i in range(len(header_list))),
+    ]
+    for row in formatted_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_experiment_report(title: str, sections: Sequence[tuple]) -> str:
+    """Assemble a multi-section text report.
+
+    ``sections`` is a sequence of ``(section_title, body_text)`` pairs; the
+    bodies are typically tables from :func:`format_table`.
+    """
+    if not title:
+        raise AnalysisError("report title must be non-empty")
+    lines = [title, "=" * len(title), ""]
+    for section_title, body in sections:
+        lines.append(str(section_title))
+        lines.append("-" * len(str(section_title)))
+        lines.append(str(body))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+__all__ = ["format_table", "render_experiment_report"]

@@ -1,0 +1,171 @@
+"""Analytic queueing-delay models for ``sigma_net``.
+
+The closed-form detection-rate formulas of Section 4 need the variance that
+the unprotected network adds to the padded stream's packet inter-arrival
+times (``sigma_net^2`` in equation (10)).  Running the event simulator gives
+the empirical value; this module predicts it from queueing theory so that the
+analytical and empirical halves of the reproduction can be compared without
+circular calibration.
+
+The per-hop model is an M/G/1 queue: cross traffic arrives (approximately)
+Poisson at rate ``lambda``, every packet needs a deterministic or general
+service time ``S`` on the output link, and the padded packet's waiting time
+``W`` follows the Pollaczek–Khinchine formulas.  The PIAT perturbation of two
+consecutive padded packets is ``W_{i+1} - W_i``; treating consecutive waits
+as independent gives ``Var = 2 Var(W)`` per hop, and hops are summed along
+the path (independence across routers).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+
+def _check_inputs(utilization: float, service_time: float) -> None:
+    if not 0.0 <= utilization < 1.0:
+        raise AnalysisError(f"utilization must lie in [0, 1), got {utilization!r}")
+    if service_time <= 0.0:
+        raise AnalysisError(f"service time must be positive, got {service_time!r}")
+
+
+def mg1_waiting_time_moments(
+    utilization: float,
+    service_time: float,
+    service_scv: float,
+    service_third_moment: float,
+) -> Tuple[float, float]:
+    """Mean and variance of the M/G/1 waiting time (Pollaczek–Khinchine).
+
+    Parameters
+    ----------
+    utilization:
+        Offered load ``rho = lambda * E[S]`` in ``[0, 1)``.
+    service_time:
+        Mean service time ``E[S]`` in seconds.
+    service_scv:
+        Squared coefficient of variation of the service time
+        (``Var(S)/E[S]^2``): 0 for deterministic, 1 for exponential.
+    service_third_moment:
+        ``E[S^3]`` in seconds cubed.
+
+    Returns
+    -------
+    (mean, variance) of the queueing delay ``W`` (excluding the packet's own
+    service time).
+    """
+    _check_inputs(utilization, service_time)
+    if service_scv < 0.0:
+        raise AnalysisError("service SCV must be >= 0")
+    if service_third_moment < 0.0:
+        raise AnalysisError("E[S^3] must be >= 0")
+    if utilization == 0.0:
+        return 0.0, 0.0
+    lam = utilization / service_time
+    second_moment = (service_scv + 1.0) * service_time**2
+    mean_wait = lam * second_moment / (2.0 * (1.0 - utilization))
+    second_moment_wait = (
+        2.0 * mean_wait**2 + lam * service_third_moment / (3.0 * (1.0 - utilization))
+    )
+    variance = second_moment_wait - mean_wait**2
+    return float(mean_wait), float(max(variance, 0.0))
+
+
+def md1_waiting_time_moments(utilization: float, service_time: float) -> Tuple[float, float]:
+    """Mean and variance of the M/D/1 waiting time (deterministic service).
+
+    This matches the paper's setting: all packets have the same size, so the
+    service time on a given link is a constant.
+    """
+    return mg1_waiting_time_moments(
+        utilization,
+        service_time,
+        service_scv=0.0,
+        service_third_moment=service_time**3,
+    )
+
+
+def mm1_waiting_time_moments(utilization: float, service_time: float) -> Tuple[float, float]:
+    """Mean and variance of the M/M/1 waiting time (exponential service)."""
+    # Exponential service: E[S^2] = 2 s^2 (SCV = 1), E[S^3] = 6 s^3.
+    return mg1_waiting_time_moments(
+        utilization,
+        service_time,
+        service_scv=1.0,
+        service_third_moment=6.0 * service_time**3,
+    )
+
+
+def piat_variance_from_waiting(waiting_variance: float) -> float:
+    """PIAT variance contributed by one hop with waiting-time variance ``Var(W)``.
+
+    The inter-arrival perturbation between consecutive padded packets at a
+    hop's egress is ``W_{i+1} - W_i``; with (approximately) independent waits
+    its variance is ``2 Var(W)``.
+    """
+    if waiting_variance < 0.0:
+        raise AnalysisError("waiting-time variance must be >= 0")
+    return 2.0 * float(waiting_variance)
+
+
+def path_piat_variance(
+    utilizations: Sequence[float],
+    service_times: Sequence[float],
+    model: str = "md1",
+) -> float:
+    """``sigma_net^2`` accumulated along a multi-hop unprotected path.
+
+    Parameters
+    ----------
+    utilizations:
+        Per-hop output-link utilization (cross traffic plus padded stream).
+    service_times:
+        Per-hop service time of one padded packet (seconds).
+    model:
+        ``"md1"`` (deterministic service, the paper's constant packet size) or
+        ``"mm1"`` (exponential service, a pessimistic bound).
+
+    Returns
+    -------
+    float
+        Total PIAT variance added by the path, i.e. the ``sigma_net^2`` to
+        plug into the variance-ratio formula (16).
+    """
+    utilizations = list(utilizations)
+    service_times = list(service_times)
+    if len(utilizations) != len(service_times):
+        raise AnalysisError("utilizations and service_times must have equal length")
+    model = model.lower()
+    if model == "md1":
+        moments = md1_waiting_time_moments
+    elif model == "mm1":
+        moments = mm1_waiting_time_moments
+    else:
+        raise AnalysisError(f"unknown delay model {model!r}; use 'md1' or 'mm1'")
+    total = 0.0
+    for rho, service in zip(utilizations, service_times):
+        _, variance = moments(rho, service)
+        total += piat_variance_from_waiting(variance)
+    return float(total)
+
+
+def equivalent_sigma_net(
+    utilizations: Sequence[float],
+    service_times: Sequence[float],
+    model: str = "md1",
+) -> float:
+    """Standard deviation form of :func:`path_piat_variance` (seconds)."""
+    return float(np.sqrt(path_piat_variance(utilizations, service_times, model=model)))
+
+
+__all__ = [
+    "mg1_waiting_time_moments",
+    "md1_waiting_time_moments",
+    "mm1_waiting_time_moments",
+    "piat_variance_from_waiting",
+    "path_piat_variance",
+    "equivalent_sigma_net",
+]

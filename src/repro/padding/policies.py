@@ -1,0 +1,111 @@
+"""Padding policies: named bundles of timer parameters.
+
+A policy is what an operator configures: the padding type (CIT/VIT), the mean
+interval (which fixes the padded-traffic rate and therefore the bandwidth
+overhead) and, for VIT, the interval standard deviation ``sigma_T``.  The
+experiment harness and the design-guideline helpers exchange policies rather
+than raw interval generators so that reports can show meaningful labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import PaddingError
+from repro.padding.timer import IntervalGenerator, make_interval_generator
+from repro.units import PAPER_TIMER_INTERVAL_S
+
+
+@dataclass(frozen=True)
+class PaddingPolicy:
+    """An operator-level description of a link-padding configuration.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"CIT-10ms"`` or ``"VIT-10ms-sd1ms"``.
+    kind:
+        ``"CIT"`` or ``"VIT"``.
+    mean_interval:
+        Timer mean interval ``tau`` in seconds.
+    sigma_t:
+        Timer interval standard deviation ``sigma_T`` in seconds (0 for CIT).
+    family:
+        VIT interval distribution family (ignored for CIT).
+    """
+
+    name: str
+    kind: str
+    mean_interval: float
+    sigma_t: float = 0.0
+    family: str = "normal"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("CIT", "VIT"):
+            raise PaddingError(f"policy kind must be 'CIT' or 'VIT', got {self.kind!r}")
+        if self.mean_interval <= 0.0:
+            raise PaddingError("mean_interval must be positive")
+        if self.sigma_t < 0.0:
+            raise PaddingError("sigma_t must be >= 0")
+        if self.kind == "CIT" and self.sigma_t != 0.0:
+            raise PaddingError("a CIT policy must have sigma_t == 0")
+        if self.kind == "VIT" and self.sigma_t == 0.0:
+            raise PaddingError("a VIT policy must have sigma_t > 0")
+
+    @property
+    def padded_rate_pps(self) -> float:
+        """Long-run padded-traffic rate implied by the mean interval."""
+        return 1.0 / self.mean_interval
+
+    @property
+    def timer_variance(self) -> float:
+        """``sigma_T^2`` of the policy's timer."""
+        return self.sigma_t**2
+
+    def make_timer(self) -> IntervalGenerator:
+        """Instantiate the interval generator this policy describes."""
+        if self.kind == "CIT":
+            return make_interval_generator("constant", self.mean_interval)
+        return make_interval_generator(self.family, self.mean_interval, self.sigma_t)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in experiment reports."""
+        if self.kind == "CIT":
+            return f"{self.name}: CIT, tau={self.mean_interval * 1e3:.3g} ms"
+        return (
+            f"{self.name}: VIT ({self.family}), tau={self.mean_interval * 1e3:.3g} ms, "
+            f"sigma_T={self.sigma_t * 1e3:.3g} ms"
+        )
+
+
+def cit_policy(mean_interval: float = PAPER_TIMER_INTERVAL_S, name: Optional[str] = None) -> PaddingPolicy:
+    """The paper's constant-interval-timer policy (default: 10 ms)."""
+    label = name if name is not None else f"CIT-{mean_interval * 1e3:.0f}ms"
+    return PaddingPolicy(name=label, kind="CIT", mean_interval=mean_interval, sigma_t=0.0)
+
+
+def vit_policy(
+    sigma_t: float,
+    mean_interval: float = PAPER_TIMER_INTERVAL_S,
+    family: str = "normal",
+    name: Optional[str] = None,
+) -> PaddingPolicy:
+    """A variable-interval-timer policy with the given ``sigma_T``."""
+    if sigma_t <= 0.0:
+        raise PaddingError("a VIT policy needs sigma_t > 0; use cit_policy for sigma_t == 0")
+    label = (
+        name
+        if name is not None
+        else f"VIT-{mean_interval * 1e3:.0f}ms-sd{sigma_t * 1e3:.3g}ms"
+    )
+    return PaddingPolicy(
+        name=label,
+        kind="VIT",
+        mean_interval=mean_interval,
+        sigma_t=sigma_t,
+        family=family,
+    )
+
+
+__all__ = ["PaddingPolicy", "cit_policy", "vit_policy"]

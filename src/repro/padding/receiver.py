@@ -1,0 +1,87 @@
+"""Receiver-side security gateway (GW2): strips dummies, delivers payload."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.exceptions import PaddingError
+from repro.sim.engine import Simulator
+from repro.sim.monitor import CounterMonitor, TimeSeriesMonitor
+from repro.traffic.packet import Packet
+
+PacketSink = Callable[[Packet], None]
+
+
+class ReceiverGateway:
+    """The paper's GW2.
+
+    Every packet of the padded stream terminates here: dummy packets are
+    discarded (they exist only to confuse the observer on the unprotected
+    segment), payload packets are stamped with their reception time and
+    forwarded to the protected destination.
+
+    Parameters
+    ----------
+    simulator:
+        Event engine (used for timestamps).
+    destination:
+        Optional sink for de-padded payload packets (e.g. a receiving
+        workstation model).  May be ``None`` when only statistics are needed.
+    name:
+        Label used in reports.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        destination: Optional[PacketSink] = None,
+        name: str = "GW2",
+    ) -> None:
+        if destination is not None and not callable(destination):
+            raise PaddingError("destination must be callable or None")
+        self.simulator = simulator
+        self.destination = destination
+        self.name = name
+        self.counters = CounterMonitor()
+        self.latency = TimeSeriesMonitor(f"{name}-payload-latency")
+
+    def accept(self, packet: Packet) -> None:
+        """Entry point for packets arriving from the unprotected network."""
+        now = self.simulator.now
+        packet.received_at = now
+        self.counters.increment("packets_received")
+        if packet.is_dummy:
+            self.counters.increment("dummy_discarded")
+            return
+        self.counters.increment("payload_delivered")
+        self.latency.record(now, packet.latency)
+        if self.destination is not None:
+            self.destination(packet)
+
+    # compatibility with code that treats gateways as plain sinks
+    __call__ = accept
+
+    @property
+    def payload_delivered(self) -> int:
+        """Number of payload packets forwarded to the protected destination."""
+        return self.counters.get("payload_delivered")
+
+    @property
+    def dummies_discarded(self) -> int:
+        """Number of dummy packets removed from the stream."""
+        return self.counters.get("dummy_discarded")
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Payload fraction of everything received (1 - padding overhead)."""
+        total = self.counters.get("packets_received")
+        if total == 0:
+            raise PaddingError(f"{self.name}: no packets received yet")
+        return self.payload_delivered / total
+
+    def mean_payload_latency(self) -> float:
+        """Average end-to-end latency of delivered payload packets (seconds)."""
+        return self.latency.mean()
+
+
+__all__ = ["ReceiverGateway"]

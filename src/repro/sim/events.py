@@ -1,0 +1,66 @@
+"""Event objects scheduled on the :class:`repro.sim.engine.Simulator` heap."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+#: Monotonically increasing sequence number used to break ties between events
+#: scheduled for the same simulated time.  Ties are resolved in scheduling
+#: order, which keeps runs fully deterministic.
+_sequence = itertools.count()
+
+
+def _next_sequence() -> int:
+    return next(_sequence)
+
+
+@dataclass(order=True)
+class Event:
+    """A callback scheduled to fire at a simulated time.
+
+    Events are ordered by ``(time, priority, sequence)``.  Lower priority
+    values fire first among events scheduled for the same time; the sequence
+    number guarantees a total, deterministic order.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time (seconds) at which the event fires.
+    priority:
+        Secondary ordering key; defaults to 0.
+    sequence:
+        Tie-breaking counter assigned at creation time.
+    callback:
+        Callable invoked as ``callback(*args)`` when the event fires.
+    args:
+        Positional arguments passed to the callback.
+    cancelled:
+        When ``True`` the simulator silently discards the event instead of
+        firing it.  Use :meth:`cancel` rather than mutating directly.
+    """
+
+    time: float
+    priority: int = 0
+    sequence: int = field(default_factory=_next_sequence)
+    callback: Callable[..., None] = field(compare=False, default=lambda: None)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will never fire."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (unless cancelled)."""
+        if not self.cancelled:
+            self.callback(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = " (cancelled)" if self.cancelled else ""
+        return f"Event(t={self.time:.6f}, prio={self.priority}, cb={name}{state})"
+
+
+__all__ = ["Event"]

@@ -1,0 +1,106 @@
+"""Bootstrap confidence intervals for empirical estimates.
+
+The empirical detection rates reported by the experiment harness are averages
+over a finite number of classification trials; their sampling error matters
+when comparing against the closed-form predictions.  A simple percentile
+bootstrap keeps the reporting honest without assuming anything about the
+estimator's distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Point estimate with a percentile-bootstrap confidence interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+    resamples: int
+
+    @property
+    def width(self) -> float:
+        """Width of the confidence interval."""
+        return self.upper - self.lower
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+
+def bootstrap_ci(
+    sample: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapResult:
+    """Percentile bootstrap confidence interval for ``statistic(sample)``.
+
+    Parameters
+    ----------
+    sample:
+        Observed values (at least 2).
+    statistic:
+        Function mapping an array to a scalar; defaults to the mean.
+    confidence:
+        Two-sided coverage, e.g. 0.95.
+    resamples:
+        Number of bootstrap resamples.
+    rng:
+        Random generator (a fresh default generator when omitted).
+    """
+    array = np.asarray(list(sample), dtype=float)
+    if array.ndim != 1 or array.size < 2:
+        raise AnalysisError("bootstrap needs a 1-D sample with at least 2 observations")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError("confidence must lie in (0, 1)")
+    if resamples < 10:
+        raise AnalysisError("use at least 10 bootstrap resamples")
+    generator = rng if rng is not None else np.random.default_rng()
+    estimates = np.empty(resamples)
+    n = array.size
+    for i in range(resamples):
+        indices = generator.integers(0, n, size=n)
+        estimates[i] = float(statistic(array[indices]))
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.percentile(estimates, [100.0 * alpha, 100.0 * (1.0 - alpha)])
+    return BootstrapResult(
+        estimate=float(statistic(array)),
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+def bootstrap_detection_rate_ci(
+    correct_flags: Sequence[bool],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapResult:
+    """Confidence interval for a detection rate from per-trial correctness flags.
+
+    ``correct_flags`` holds one boolean per classification trial (``True`` =
+    the adversary identified the payload rate correctly); the detection rate
+    is their mean.
+    """
+    flags = np.asarray(list(correct_flags), dtype=float)
+    if flags.size < 2:
+        raise AnalysisError("need at least 2 classification trials")
+    if np.any((flags != 0.0) & (flags != 1.0)):
+        raise AnalysisError("correct_flags must be boolean")
+    return bootstrap_ci(flags, statistic=np.mean, confidence=confidence, resamples=resamples, rng=rng)
+
+
+__all__ = ["BootstrapResult", "bootstrap_ci", "bootstrap_detection_rate_ci"]

@@ -1,0 +1,230 @@
+"""Rate schedules: how a source's rate evolves over simulated time.
+
+Schedules answer one question — "what is the target rate at time ``t``?" —
+and are shared by payload sources (which alternate between the paper's low
+and high rates) and by cross-traffic generators (which follow the diurnal
+load profile used to model the campus/WAN experiments of Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrafficError
+from repro.units import DAY, HOUR
+
+
+class RateSchedule:
+    """Interface: a mapping from simulation time to a non-negative rate."""
+
+    def rate_at(self, time: float) -> float:
+        """Target rate (packets per second) at simulation time ``time``."""
+        raise NotImplementedError
+
+    def mean_rate(self, start: float, end: float, resolution: int = 1000) -> float:
+        """Average rate over ``[start, end]`` computed by dense sampling.
+
+        Subclasses with analytic means override this; the default numeric
+        version is good enough for reporting and tests.
+        """
+        if end <= start:
+            raise TrafficError("schedule averaging window must have end > start")
+        times = np.linspace(start, end, resolution)
+        return float(np.mean([self.rate_at(t) for t in times]))
+
+
+@dataclass(frozen=True)
+class ConstantRateSchedule(RateSchedule):
+    """A single fixed rate for the whole run."""
+
+    rate_pps: float
+
+    def __post_init__(self) -> None:
+        if self.rate_pps < 0.0:
+            raise TrafficError(f"rate must be >= 0, got {self.rate_pps!r}")
+
+    def rate_at(self, time: float) -> float:
+        return self.rate_pps
+
+    def mean_rate(self, start: float, end: float, resolution: int = 1000) -> float:
+        if end <= start:
+            raise TrafficError("schedule averaging window must have end > start")
+        return self.rate_pps
+
+
+class PiecewiseConstantSchedule(RateSchedule):
+    """A rate that changes at explicit breakpoints.
+
+    Parameters
+    ----------
+    breakpoints:
+        Sequence of ``(start_time, rate_pps)`` pairs sorted by start time.
+        The first start time must be 0; each rate holds until the next
+        breakpoint (the last one holds forever).
+    """
+
+    def __init__(self, breakpoints: Sequence[Tuple[float, float]]) -> None:
+        if not breakpoints:
+            raise TrafficError("need at least one (time, rate) breakpoint")
+        times = [float(t) for t, _ in breakpoints]
+        rates = [float(r) for _, r in breakpoints]
+        if times[0] != 0.0:
+            raise TrafficError("the first breakpoint must start at time 0")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise TrafficError("breakpoint times must be strictly increasing")
+        if any(r < 0.0 for r in rates):
+            raise TrafficError("rates must be >= 0")
+        self._times = np.asarray(times)
+        self._rates = np.asarray(rates)
+
+    def rate_at(self, time: float) -> float:
+        if time < 0.0:
+            raise TrafficError(f"time must be >= 0, got {time!r}")
+        index = int(np.searchsorted(self._times, time, side="right") - 1)
+        return float(self._rates[index])
+
+    @property
+    def breakpoints(self) -> Sequence[Tuple[float, float]]:
+        """The ``(time, rate)`` pairs defining this schedule."""
+        return list(zip(self._times.tolist(), self._rates.tolist()))
+
+    def mean_rate(self, start: float, end: float, resolution: int = 1000) -> float:
+        if end <= start:
+            raise TrafficError("schedule averaging window must have end > start")
+        # Exact time-weighted average over the window.
+        edges = np.concatenate(([start], self._times[(self._times > start) & (self._times < end)], [end]))
+        total = 0.0
+        for left, right in zip(edges[:-1], edges[1:]):
+            total += self.rate_at(left) * (right - left)
+        return total / (end - start)
+
+
+class TwoRateSchedule(PiecewiseConstantSchedule):
+    """The evaluation's payload model: the rate is either low or high.
+
+    The paper treats each classification experiment as "the payload has been
+    at one of the two rates for the whole observation window".  For
+    end-to-end simulations we alternate between the two rates in blocks of
+    ``dwell_time`` seconds, which produces labelled observation windows for
+    training and testing.
+
+    Parameters
+    ----------
+    low_rate_pps, high_rate_pps:
+        The two payload rates (10 and 40 pps in the paper).
+    dwell_time:
+        Length of each constant-rate block in seconds.
+    start_high:
+        Whether the first block uses the high rate.
+    total_time:
+        Horizon for which to materialise blocks.
+    """
+
+    def __init__(
+        self,
+        low_rate_pps: float,
+        high_rate_pps: float,
+        dwell_time: float,
+        total_time: float,
+        start_high: bool = False,
+    ) -> None:
+        if low_rate_pps <= 0 or high_rate_pps <= 0:
+            raise TrafficError("both payload rates must be positive")
+        if high_rate_pps <= low_rate_pps:
+            raise TrafficError("high rate must exceed low rate")
+        if dwell_time <= 0 or total_time <= 0:
+            raise TrafficError("dwell_time and total_time must be positive")
+        self.low_rate_pps = float(low_rate_pps)
+        self.high_rate_pps = float(high_rate_pps)
+        self.dwell_time = float(dwell_time)
+        self.total_time = float(total_time)
+        breakpoints = []
+        t = 0.0
+        high = start_high
+        while t < total_time:
+            breakpoints.append((t, high_rate_pps if high else low_rate_pps))
+            t += dwell_time
+            high = not high
+        super().__init__(breakpoints)
+
+    def label_at(self, time: float) -> str:
+        """Return ``"high"`` or ``"low"`` — the ground-truth class at ``time``."""
+        return "high" if self.rate_at(time) == self.high_rate_pps else "low"
+
+
+class DiurnalProfile(RateSchedule):
+    """A 24-hour load profile, repeating daily.
+
+    Models the qualitative day/night pattern of campus and Internet cross
+    traffic in the Figure 8 experiments: load is lowest in the very early
+    morning (~2:00 AM in the paper, where detection rates peaked) and highest
+    during business hours.
+
+    Parameters
+    ----------
+    base_rate_pps:
+        Rate corresponding to a multiplier of 1.0.
+    hourly_multipliers:
+        24 non-negative multipliers, one per hour starting at midnight.
+        Intermediate times are linearly interpolated so the profile is
+        continuous.
+    """
+
+    #: A plausible enterprise/Internet daily shape: quiet at night, ramping
+    #: through the morning, peaking mid-afternoon, tailing off in the evening.
+    DEFAULT_MULTIPLIERS: Tuple[float, ...] = (
+        0.25, 0.18, 0.15, 0.16, 0.20, 0.30,  # 00:00 - 05:00
+        0.45, 0.65, 0.85, 1.00, 1.10, 1.15,  # 06:00 - 11:00
+        1.10, 1.15, 1.20, 1.15, 1.05, 0.95,  # 12:00 - 17:00
+        0.85, 0.75, 0.65, 0.55, 0.42, 0.32,  # 18:00 - 23:00
+    )
+
+    def __init__(
+        self,
+        base_rate_pps: float,
+        hourly_multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+    ) -> None:
+        if base_rate_pps < 0.0:
+            raise TrafficError("base rate must be >= 0")
+        multipliers = np.asarray(hourly_multipliers, dtype=float)
+        if multipliers.shape != (24,):
+            raise TrafficError("hourly_multipliers must contain exactly 24 values")
+        if np.any(multipliers < 0.0):
+            raise TrafficError("multipliers must be >= 0")
+        self.base_rate_pps = float(base_rate_pps)
+        self._multipliers = multipliers
+
+    def multiplier_at(self, time: float) -> float:
+        """Interpolated load multiplier at simulation time ``time``."""
+        if time < 0.0:
+            raise TrafficError(f"time must be >= 0, got {time!r}")
+        hour_of_day = (time % DAY) / HOUR
+        lo = int(np.floor(hour_of_day)) % 24
+        hi = (lo + 1) % 24
+        frac = hour_of_day - np.floor(hour_of_day)
+        return float((1.0 - frac) * self._multipliers[lo] + frac * self._multipliers[hi])
+
+    def rate_at(self, time: float) -> float:
+        return self.base_rate_pps * self.multiplier_at(time)
+
+    @property
+    def peak_rate_pps(self) -> float:
+        """The largest hourly rate in the profile."""
+        return float(self.base_rate_pps * np.max(self._multipliers))
+
+    @property
+    def trough_rate_pps(self) -> float:
+        """The smallest hourly rate in the profile."""
+        return float(self.base_rate_pps * np.min(self._multipliers))
+
+
+__all__ = [
+    "RateSchedule",
+    "ConstantRateSchedule",
+    "PiecewiseConstantSchedule",
+    "TwoRateSchedule",
+    "DiurnalProfile",
+]

@@ -1,0 +1,110 @@
+"""Tests for the feature statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    EntropyFeature,
+    InterquartileRangeFeature,
+    MeanFeature,
+    MedianAbsoluteDeviationFeature,
+    VarianceFeature,
+    default_features,
+    get_feature,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestPaperFeatures:
+    def test_mean_feature(self):
+        assert MeanFeature().compute([0.01, 0.02, 0.03]) == pytest.approx(0.02)
+
+    def test_variance_feature_unbiased(self):
+        assert VarianceFeature().compute([1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_entropy_feature_distinguishes_spread(self, rng):
+        feature = EntropyFeature(bin_width=1e-5)
+        narrow = feature.compute(rng.normal(0.01, 2e-5, size=1000))
+        wide = feature.compute(rng.normal(0.01, 8e-5, size=1000))
+        assert wide > narrow
+
+    def test_entropy_default_bin_width(self):
+        feature = EntropyFeature()
+        assert feature.bin_width == pytest.approx(0.01 / 200.0)
+
+    def test_entropy_invalid_bin_width(self):
+        with pytest.raises(AnalysisError):
+            EntropyFeature(bin_width=0.0)
+
+    def test_features_are_callable(self):
+        assert MeanFeature()([1.0, 3.0]) == 2.0
+
+    def test_default_features_registry(self):
+        features = default_features()
+        assert set(features) == {"mean", "variance", "entropy"}
+        assert features["mean"].name == "mean"
+
+    def test_min_sample_sizes_enforced(self):
+        with pytest.raises(AnalysisError):
+            VarianceFeature().compute([1.0])
+        with pytest.raises(AnalysisError):
+            MeanFeature().compute([])
+        with pytest.raises(AnalysisError):
+            InterquartileRangeFeature().compute([1.0, 2.0, 3.0])
+
+    def test_two_dimensional_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            MeanFeature().compute(np.zeros((2, 2)))
+
+
+class TestExtensionFeatures:
+    def test_mad(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert MedianAbsoluteDeviationFeature().compute(data) == pytest.approx(1.0)
+
+    def test_iqr(self):
+        data = np.arange(1.0, 101.0)
+        value = InterquartileRangeFeature().compute(data)
+        assert value == pytest.approx(np.percentile(data, 75) - np.percentile(data, 25))
+
+    def test_robust_features_ignore_outliers(self, rng):
+        base = rng.normal(0.01, 1e-5, size=1000)
+        polluted = np.concatenate([base, [1.0]])
+        mad = MedianAbsoluteDeviationFeature()
+        variance = VarianceFeature()
+        assert mad.compute(polluted) == pytest.approx(mad.compute(base), rel=0.05)
+        assert variance.compute(polluted) > 100 * variance.compute(base)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["mean", "variance", "entropy", "mad", "iqr"])
+    def test_lookup_by_name(self, name):
+        assert get_feature(name).name == name
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_feature("  Variance ").name == "variance"
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(AnalysisError):
+            get_feature("kurtosis")
+
+    def test_entropy_bin_width_forwarded(self):
+        assert get_feature("entropy", entropy_bin_width=1e-6).bin_width == 1e-6
+
+
+class TestDiscriminationProperty:
+    @given(ratio=st.floats(min_value=1.5, max_value=16.0))
+    @settings(max_examples=20, deadline=None)
+    def test_dispersion_features_separate_variance_classes(self, ratio):
+        """Variance/entropy grow with the underlying spread; the mean does not."""
+        rng = np.random.default_rng(1234)
+        low = rng.normal(0.01, 2e-5, size=2000)
+        high = rng.normal(0.01, 2e-5 * np.sqrt(ratio), size=2000)
+        assert VarianceFeature().compute(high) > VarianceFeature().compute(low)
+        entropy = EntropyFeature(bin_width=1e-5)
+        assert entropy.compute(high) > entropy.compute(low)
+        assert MeanFeature().compute(high) == pytest.approx(MeanFeature().compute(low), rel=0.01)

@@ -1,0 +1,84 @@
+"""Tests for the multi-rate extension and confusion-matrix utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    VarianceFeature,
+    confusion_matrix,
+    evaluate_multiclass_attack,
+    per_class_detection_rates,
+)
+from repro.adversary.multiclass import overall_detection_rate, random_guessing_rate
+from repro.exceptions import AnalysisError
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = confusion_matrix(["a", "a", "b", "b"], ["a", "b", "b", "b"])
+        assert matrix["a"]["a"] == 1
+        assert matrix["a"]["b"] == 1
+        assert matrix["b"]["b"] == 2
+        assert matrix["b"]["a"] == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(AnalysisError):
+            confusion_matrix(["a"], ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            confusion_matrix([], [])
+
+    def test_per_class_rates(self):
+        matrix = confusion_matrix(["a", "a", "b", "b"], ["a", "b", "b", "b"])
+        rates = per_class_detection_rates(matrix)
+        assert rates["a"] == pytest.approx(0.5)
+        assert rates["b"] == pytest.approx(1.0)
+
+    def test_overall_rate(self):
+        matrix = confusion_matrix(["a", "a", "b", "b"], ["a", "b", "b", "b"])
+        assert overall_detection_rate(matrix) == pytest.approx(0.75)
+
+
+class TestRandomGuessing:
+    def test_equal_priors(self):
+        assert random_guessing_rate(2) == 0.5
+        assert random_guessing_rate(4) == 0.25
+
+    def test_unequal_priors(self):
+        assert random_guessing_rate(2, [0.8, 0.2]) == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            random_guessing_rate(1)
+        with pytest.raises(AnalysisError):
+            random_guessing_rate(2, [0.5, 0.6])
+        with pytest.raises(AnalysisError):
+            random_guessing_rate(3, [0.5, 0.5])
+
+
+class TestMulticlassAttack:
+    def test_four_rate_extension(self, rng):
+        """Section 6: the technique extends to m > 2 rates via more training."""
+        # Build four classes with increasing PIAT variance (more payload ->
+        # more gateway disturbance), sampled from the Gaussian model.
+        sigmas = {"r10": 2.1e-5, "r20": 2.5e-5, "r40": 3.0e-5, "r80": 3.7e-5}
+        train = {k: rng.normal(0.01, s, size=60_000) for k, s in sigmas.items()}
+        test = {k: rng.normal(0.01, s, size=60_000) for k, s in sigmas.items()}
+        result = evaluate_multiclass_attack(
+            train, test, VarianceFeature(), sample_size=2000
+        )
+        assert result.trials == 4 * 30
+        # Better than random guessing among four classes, but harder than two.
+        assert result.detection_rate > 2.0 * random_guessing_rate(4)
+        assert set(result.per_class_rates) == set(sigmas)
+
+    def test_rejects_two_class_input(self, rng):
+        data = {
+            "low": rng.normal(0.01, 1e-5, size=5000),
+            "high": rng.normal(0.01, 2e-5, size=5000),
+        }
+        with pytest.raises(AnalysisError):
+            evaluate_multiclass_attack(data, data, VarianceFeature(), sample_size=500)

@@ -1,0 +1,26 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams, Simulator
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    """A fresh simulator starting at t = 0."""
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """Deterministic random streams shared by tests that need randomness."""
+    return RandomStreams(seed=12345)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator."""
+    return np.random.default_rng(987654321)

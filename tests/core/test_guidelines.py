@@ -1,0 +1,118 @@
+"""Tests for the design guidelines."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    padding_bandwidth_overhead,
+    recommend_policy,
+    required_sigma_t,
+    safe_observation_budget,
+)
+from repro.core.guidelines import worst_case_detection_rate
+from repro.exceptions import AnalysisError
+from repro.padding import cit_policy, vit_policy
+
+
+class TestBandwidthOverhead:
+    def test_paper_configuration_overheads(self):
+        assert padding_bandwidth_overhead(10.0, 100.0) == pytest.approx(0.9)
+        assert padding_bandwidth_overhead(40.0, 100.0) == pytest.approx(0.6)
+
+    def test_no_padding_needed_at_full_rate(self):
+        assert padding_bandwidth_overhead(100.0, 100.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            padding_bandwidth_overhead(10.0, 0.0)
+        with pytest.raises(AnalysisError):
+            padding_bandwidth_overhead(-1.0, 10.0)
+        with pytest.raises(AnalysisError):
+            padding_bandwidth_overhead(200.0, 100.0)
+
+
+class TestWorstCaseDetection:
+    def test_cit_is_detectable_with_large_samples(self):
+        assert worst_case_detection_rate(sample_size=10_000, sigma_t=0.0) > 0.95
+
+    def test_large_sigma_t_pins_detection_to_floor(self):
+        assert worst_case_detection_rate(sample_size=10_000, sigma_t=5e-3) < 0.55
+
+    def test_monotone_decreasing_in_sigma_t(self):
+        rates = [worst_case_detection_rate(5_000, s) for s in (0.0, 1e-4, 1e-3, 1e-2)]
+        assert all(b <= a for a, b in zip(rates, rates[1:]))
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            worst_case_detection_rate(1, 0.0)
+        with pytest.raises(AnalysisError):
+            worst_case_detection_rate(100, -1.0)
+
+
+class TestRequiredSigmaT:
+    def test_meets_the_budget(self):
+        sigma_t = required_sigma_t(max_detection_rate=0.6, max_observable_sample=100_000)
+        assert worst_case_detection_rate(100_000, sigma_t) <= 0.6
+        # And it is not absurdly conservative: 10x less jitter busts the budget.
+        assert worst_case_detection_rate(100_000, sigma_t / 10.0) > 0.6
+
+    def test_larger_observation_budget_needs_more_jitter(self):
+        small = required_sigma_t(0.6, 10_000)
+        large = required_sigma_t(0.6, 10_000_000)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            required_sigma_t(0.4, 1000)
+        with pytest.raises(AnalysisError):
+            required_sigma_t(0.6, 1)
+
+
+class TestRecommendPolicy:
+    def test_recommends_a_vit_policy_meeting_the_budget(self):
+        guideline = recommend_policy(max_detection_rate=0.6, max_observable_sample=1_000_000)
+        assert guideline.policy.kind == "VIT"
+        assert guideline.worst_case_detection <= 0.6
+        assert guideline.attack_sample_for_99pct > 1_000_000
+        assert guideline.bandwidth_overhead_low == pytest.approx(0.9)
+        assert guideline.bandwidth_overhead_high == pytest.approx(0.6)
+
+    def test_summary_is_human_readable(self):
+        guideline = recommend_policy()
+        text = guideline.summary()
+        assert "VIT" in text
+        assert "worst-case detection rate" in text
+
+    def test_padded_rate_must_cover_payload(self):
+        with pytest.raises(AnalysisError):
+            recommend_policy(mean_interval=0.1, high_rate_pps=40.0)
+
+    def test_safety_factor_validation(self):
+        with pytest.raises(AnalysisError):
+            recommend_policy(safety_factor=0.5)
+
+
+class TestSafeObservationBudget:
+    def test_cit_budget_is_small(self):
+        budget = safe_observation_budget(cit_policy(), max_detection_rate=0.6)
+        assert budget < 10_000
+
+    def test_vit_budget_is_enormous(self):
+        budget = safe_observation_budget(vit_policy(sigma_t=1e-3), max_detection_rate=0.6)
+        # > 1e7 intervals at 10 ms per interval is more than a day of traffic
+        # at a constant payload rate -- far beyond a realistic attack window.
+        assert budget > 1e7 or math.isinf(budget)
+
+    def test_budget_grows_with_sigma_t(self):
+        budgets = [
+            safe_observation_budget(vit_policy(sigma_t=s), max_detection_rate=0.7)
+            for s in (1e-5, 1e-4, 1e-3)
+        ]
+        assert all(b >= a for a, b in zip(budgets, budgets[1:]))
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            safe_observation_budget(cit_policy(), max_detection_rate=1.2)

@@ -1,0 +1,111 @@
+"""Tests for sample-size inversion (Figure 5(b) arithmetic)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    detection_rate_entropy,
+    detection_rate_variance,
+    sample_size_for_detection,
+    sample_size_vs_sigma_t,
+    sigma_t_for_sample_size,
+)
+from repro.exceptions import AnalysisError
+from repro.padding import InterruptDisturbance
+
+
+class TestSampleSizeForDetection:
+    def test_inverts_theorem_2(self):
+        r, target = 1.8, 0.95
+        n = sample_size_for_detection(target, r, feature="variance")
+        assert detection_rate_variance(r, n) == pytest.approx(target, abs=1e-9)
+
+    def test_inverts_theorem_3(self):
+        r, target = 1.6, 0.9
+        n = sample_size_for_detection(target, r, feature="entropy")
+        assert detection_rate_entropy(r, n) == pytest.approx(target, abs=1e-9)
+
+    def test_unreachable_at_r_equal_one(self):
+        assert math.isinf(sample_size_for_detection(0.99, 1.0, feature="variance"))
+        assert math.isinf(sample_size_for_detection(0.99, 1.0, feature="entropy"))
+
+    def test_mean_feature_cannot_reach_high_targets(self):
+        assert math.isinf(sample_size_for_detection(0.99, 1.5, feature="mean"))
+
+    def test_mean_feature_reachable_target_needs_minimal_sample(self):
+        # With r = 100 Theorem 1 already gives ~0.9 regardless of n.
+        assert sample_size_for_detection(0.55, 100.0, feature="mean") == 2.0
+
+    def test_higher_targets_need_larger_samples(self):
+        sizes = [sample_size_for_detection(p, 1.5, "variance") for p in (0.6, 0.9, 0.99, 0.999)]
+        assert all(b > a for a, b in zip(sizes, sizes[1:]))
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            sample_size_for_detection(0.4, 2.0)
+        with pytest.raises(AnalysisError):
+            sample_size_for_detection(1.0, 2.0)
+        with pytest.raises(AnalysisError):
+            sample_size_for_detection(0.9, 2.0, feature="mad")
+
+
+class TestSampleSizeVsSigmaT:
+    def test_required_sample_explodes_with_sigma_t(self):
+        """The Figure 5(b) shape: n(99%) grows without bound as sigma_T grows."""
+        sigma_ts = [0.0, 1e-5, 1e-4, 1e-3, 1e-2]
+        sizes = sample_size_vs_sigma_t(sigma_ts, target_detection_rate=0.99, feature="variance")
+        assert sizes.shape == (5,)
+        assert all(b > a for a, b in zip(sizes, sizes[1:]))
+        # CIT (sigma_T = 0) is attackable with a modest sample...
+        assert sizes[0] < 10_000
+        # ...while sigma_T = 1 ms needs an astronomically large one.
+        assert sizes[3] > 1e8
+
+    def test_entropy_and_variance_are_similar_orders(self):
+        sizes_v = sample_size_vs_sigma_t([1e-3], feature="variance")
+        sizes_h = sample_size_vs_sigma_t([1e-3], feature="entropy")
+        assert 0.1 < sizes_v[0] / sizes_h[0] < 10.0
+
+    def test_net_variance_also_inflates_required_sample(self):
+        clean = sample_size_vs_sigma_t([0.0], feature="variance")[0]
+        noisy = sample_size_vs_sigma_t([0.0], feature="variance", net_variance=1e-8)[0]
+        assert noisy > clean
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(AnalysisError):
+            sample_size_vs_sigma_t([-1e-3])
+
+
+class TestSigmaTForSampleSize:
+    def test_round_trip(self):
+        disturbance = InterruptDisturbance()
+        sigma_t = sigma_t_for_sample_size(1e9, target_detection_rate=0.99, disturbance=disturbance)
+        required = sample_size_vs_sigma_t(
+            [sigma_t], target_detection_rate=0.99, disturbance=disturbance
+        )[0]
+        assert required >= 1e9
+        # And just below the returned sigma_T the requirement is not yet met.
+        required_below = sample_size_vs_sigma_t(
+            [sigma_t * 0.9], target_detection_rate=0.99, disturbance=disturbance
+        )[0]
+        assert required_below < 1e9
+
+    def test_monotone_in_required_sample(self):
+        small = sigma_t_for_sample_size(1e6)
+        large = sigma_t_for_sample_size(1e12)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            sigma_t_for_sample_size(1.0)
+        with pytest.raises(AnalysisError):
+            sigma_t_for_sample_size(1e9, target_detection_rate=0.3)
+        with pytest.raises(AnalysisError):
+            sigma_t_for_sample_size(1e9, sigma_t_bounds=(1.0, 0.1))
+        with pytest.raises(AnalysisError):
+            # Bound the search so tightly that the requirement cannot be met.
+            sigma_t_for_sample_size(1e30, sigma_t_bounds=(1e-7, 1e-6))

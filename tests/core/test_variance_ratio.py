@@ -1,0 +1,78 @@
+"""Tests for the variance ratio r (equation 16)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GaussianPIATModel, variance_ratio, variance_ratio_from_model
+from repro.core.variance_ratio import check_ratio
+from repro.exceptions import AnalysisError
+
+
+class TestVarianceRatio:
+    def test_basic_ratio(self):
+        assert variance_ratio(1e-10, 3e-10) == pytest.approx(3.0)
+
+    def test_timer_variance_dilutes_the_ratio(self):
+        base = variance_ratio(1e-10, 3e-10)
+        with_timer = variance_ratio(1e-10, 3e-10, timer_variance=1e-8)
+        assert with_timer < base
+        assert with_timer == pytest.approx(1.0, abs=0.05)
+
+    def test_net_variance_dilutes_the_ratio(self):
+        base = variance_ratio(1e-10, 3e-10)
+        noisy = variance_ratio(1e-10, 3e-10, net_variance=5e-10)
+        assert 1.0 < noisy < base
+
+    def test_equal_gateway_variances_give_one(self):
+        assert variance_ratio(2e-10, 2e-10) == pytest.approx(1.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            variance_ratio(-1e-10, 3e-10)
+        with pytest.raises(AnalysisError):
+            variance_ratio(1e-10, 3e-10, timer_variance=-1.0)
+        with pytest.raises(AnalysisError):
+            variance_ratio(1e-10, 3e-10, net_variance=-1.0)
+
+    def test_wrong_ordering_rejected(self):
+        with pytest.raises(AnalysisError):
+            variance_ratio(3e-10, 1e-10)
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(AnalysisError):
+            variance_ratio(0.0, 0.0)
+
+    def test_from_model(self):
+        model = GaussianPIATModel(tau=0.01, sigma_low=1e-5, sigma_high=2e-5)
+        assert variance_ratio_from_model(model) == pytest.approx(4.0)
+
+    @given(
+        gw_low=st.floats(min_value=1e-12, max_value=1e-6),
+        gw_extra=st.floats(min_value=0.0, max_value=1e-6),
+        timer=st.floats(min_value=0.0, max_value=1e-4),
+        net=st.floats(min_value=0.0, max_value=1e-4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_ratio_always_at_least_one_and_shrinks_with_noise(self, gw_low, gw_extra, timer, net):
+        gw_high = gw_low + gw_extra
+        r = variance_ratio(gw_low, gw_high, timer, net)
+        assert r >= 1.0
+        r_noisier = variance_ratio(gw_low, gw_high, timer + 1e-6, net)
+        assert r_noisier <= r + 1e-12
+
+
+class TestCheckRatio:
+    def test_accepts_valid(self):
+        assert check_ratio(1.0) == 1.0
+        assert check_ratio(2.5) == 2.5
+
+    def test_rejects_invalid(self):
+        with pytest.raises(AnalysisError):
+            check_ratio(0.99)
+        with pytest.raises(AnalysisError):
+            check_ratio(float("nan"))
+        with pytest.raises(AnalysisError):
+            check_ratio(float("inf"))

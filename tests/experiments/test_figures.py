@@ -1,0 +1,205 @@
+"""Integration tests for the figure experiments.
+
+These use small configurations (analytic or short simulation captures) so the
+whole module runs in tens of seconds; the benchmarks exercise the larger,
+figure-fidelity configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    CollectionMode,
+    Fig4Config,
+    Fig4Experiment,
+    Fig5Config,
+    Fig5Experiment,
+    Fig6Config,
+    Fig6Experiment,
+    Fig8Config,
+    Fig8Experiment,
+)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = Fig4Config(
+            sample_sizes=(50, 200, 1000),
+            trials=12,
+            mode=CollectionMode.SIMULATION,
+            seed=11,
+        )
+        return Fig4Experiment(config).run()
+
+    def test_piat_distributions_match_figure_4a(self, result):
+        """Same mean, wider under the high rate, approximately normal."""
+        low, high = result.piat_stats["low"], result.piat_stats["high"]
+        assert low["mean"] == pytest.approx(high["mean"], rel=1e-3)
+        assert high["std"] > low["std"]
+        assert low["looks_normal"] and high["looks_normal"]
+        assert result.r_measured == pytest.approx(result.r_model, rel=0.3)
+
+    def test_detection_curves_match_figure_4b(self, result):
+        """Mean stays near 50%; variance/entropy rise to ~100% by n=1000."""
+        for feature in ("variance", "entropy"):
+            rates = result.empirical_detection_rate[feature]
+            assert rates[1000] > 0.9
+            assert rates[1000] >= rates[50] - 0.05
+        assert result.empirical_detection_rate["mean"][1000] < 0.75
+
+    def test_empirical_tracks_theory(self, result):
+        for feature in ("variance", "entropy"):
+            for n in (200, 1000):
+                empirical = result.empirical_detection_rate[feature][n]
+                theory = result.theoretical_detection_rate[feature][n]
+                assert empirical == pytest.approx(theory, abs=0.25)
+
+    def test_report_renders(self, result):
+        text = result.to_text()
+        assert "Figure 4" in text
+        assert "variance ratio" in text
+        rows = list(result.rows())
+        assert len(rows) == 3 * 3  # features x sample sizes
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            Fig4Config(sample_sizes=())
+        with pytest.raises(ConfigurationError):
+            Fig4Config(sample_sizes=(1,))
+        with pytest.raises(ConfigurationError):
+            Fig4Config(trials=1)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = Fig5Config(
+            sigma_t_values=(0.0, 1e-3),
+            sample_size=500,
+            trials=10,
+            mode=CollectionMode.ANALYTIC,
+            seed=11,
+        )
+        return Fig5Experiment(config).run()
+
+    def test_vit_collapses_detection(self, result):
+        """Figure 5(a): detection drops toward 50% as sigma_T grows."""
+        for feature in ("variance", "entropy"):
+            rates = result.empirical_detection_rate[feature]
+            assert rates[0.0] > 0.85
+            assert rates[1e-3] < 0.7
+        assert result.variance_ratios[1e-3] < result.variance_ratios[0.0]
+
+    def test_required_sample_explodes(self, result):
+        """Figure 5(b): the attack needs astronomically many packets under VIT."""
+        required = result.required_sample_for_target["variance"]
+        assert required[1e-3] > 1e8
+        assert required[1e-6] < 1e5
+
+    def test_report_renders(self, result):
+        text = result.to_text()
+        assert "Figure 5(a)" in text and "Figure 5(b)" in text
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            Fig5Config(sigma_t_values=())
+        with pytest.raises(ConfigurationError):
+            Fig5Config(sigma_t_values=(-1e-3,))
+        with pytest.raises(ConfigurationError):
+            Fig5Config(target_detection_rate=0.4)
+        with pytest.raises(ConfigurationError):
+            Fig5Config(features=())
+
+    def test_scenario_for_sigma(self):
+        config = Fig5Config()
+        assert config.scenario_for(0.0).policy.kind == "CIT"
+        assert config.scenario_for(1e-3).policy.kind == "VIT"
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = Fig6Config(
+            utilizations=(0.05, 0.4),
+            sample_size=300,
+            trials=8,
+            mode=CollectionMode.SIMULATION,
+            seed=11,
+        )
+        return Fig6Experiment(config).run()
+
+    def test_detection_decreases_with_utilization(self, result):
+        for feature in ("variance", "entropy"):
+            rates = result.empirical_detection_rate[feature]
+            assert rates[0.05] > rates[0.4] - 0.1
+            assert rates[0.05] > 0.7
+        assert result.variance_ratios[0.4] < result.variance_ratios[0.05]
+
+    def test_mean_feature_stays_uninformative(self, result):
+        assert all(rate < 0.75 for rate in result.empirical_detection_rate["mean"].values())
+
+    def test_report_renders(self, result):
+        assert "Figure 6" in result.to_text()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            Fig6Config(utilizations=())
+        with pytest.raises(ConfigurationError):
+            Fig6Config(utilizations=(1.2,))
+        with pytest.raises(ConfigurationError):
+            Fig6Config(scenario=Fig6Config().scenario.with_cross_utilization(0.0), utilizations=(0.1,), sample_size=1)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = Fig8Config(
+            networks=("campus", "wan"),
+            hours=(2, 14),
+            sample_size=400,
+            trials=10,
+            mode=CollectionMode.HYBRID,
+            seed=11,
+        )
+        return Fig8Experiment(config).run()
+
+    def test_campus_detection_exceeds_wan(self, result):
+        """Figure 8: the campus path leaves the attack far more effective."""
+        for feature in ("variance", "entropy"):
+            campus = result.empirical_detection_rate["campus"][feature]
+            wan = result.empirical_detection_rate["wan"][feature]
+            assert campus[14] >= wan[14] - 0.05
+            assert campus[2] > 0.85
+
+    def test_night_beats_midday(self, result):
+        """Detection peaks in the quiet small hours (the paper's 2:00 AM remark)."""
+        for network in ("campus", "wan"):
+            gap = result.nightly_minus_midday(network, "variance")
+            assert gap >= -0.05
+        assert result.nightly_minus_midday("wan", "variance") > 0.1
+
+    def test_utilizations_follow_diurnal_profile(self, result):
+        for network in ("campus", "wan"):
+            utils = result.utilizations[network]
+            assert utils[2] < utils[14]
+
+    def test_report_renders(self, result):
+        assert "Figure 8" in result.to_text()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            Fig8Config(networks=())
+        with pytest.raises(ConfigurationError):
+            Fig8Config(networks=("metro",))
+        with pytest.raises(ConfigurationError):
+            Fig8Config(hours=(25,))
+        with pytest.raises(ConfigurationError):
+            Fig8Config(hourly_multipliers=(1.0,) * 23)
+
+    def test_utilization_at_hour_helper(self):
+        config = Fig8Config()
+        assert config.utilization_at("wan", 14) > config.utilization_at("wan", 2)
+        assert config.utilization_at("wan", 14) <= 0.99

@@ -1,0 +1,48 @@
+"""Tests for report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.experiments import format_table, render_experiment_report
+
+
+class TestFormatTable:
+    def test_columns_are_aligned(self):
+        table = format_table(["name", "value"], [("a", 1.0), ("longer-name", 0.5)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or len(line) <= len(lines[0]) + 2 for line in lines)
+        assert "longer-name" in lines[3]
+
+    def test_number_formatting(self):
+        table = format_table(["x"], [(1.23456789,), (1.2e-7,), (float("inf"),), (float("nan"),), (0.0,)])
+        assert "1.235" in table
+        assert "1.200e-07" in table
+        assert "inf" in table
+        assert "nan" in table
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_table([], [])
+
+
+class TestRenderReport:
+    def test_sections_are_included(self):
+        report = render_experiment_report(
+            "My experiment", [("Section 1", "body one"), ("Section 2", "body two")]
+        )
+        assert report.startswith("My experiment\n=============")
+        assert "Section 1" in report
+        assert "body two" in report
+        assert report.endswith("\n")
+
+    def test_empty_title_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_experiment_report("", [])

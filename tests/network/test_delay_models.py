@@ -1,0 +1,119 @@
+"""Tests for analytic queueing-delay models (sigma_net prediction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import AnalysisError
+from repro.network import (
+    md1_waiting_time_moments,
+    mg1_waiting_time_moments,
+    mm1_waiting_time_moments,
+    path_piat_variance,
+    piat_variance_from_waiting,
+)
+from repro.network.delay_models import equivalent_sigma_net
+
+
+class TestWaitingTimeMoments:
+    def test_zero_utilization_means_zero_wait(self):
+        assert md1_waiting_time_moments(0.0, 1e-4) == (0.0, 0.0)
+        assert mm1_waiting_time_moments(0.0, 1e-4) == (0.0, 0.0)
+
+    def test_md1_mean_matches_textbook_formula(self):
+        rho, s = 0.5, 1e-4
+        mean, _ = md1_waiting_time_moments(rho, s)
+        assert mean == pytest.approx(rho * s / (2 * (1 - rho)))
+
+    def test_mm1_mean_matches_textbook_formula(self):
+        rho, s = 0.5, 1e-4
+        mean, _ = mm1_waiting_time_moments(rho, s)
+        assert mean == pytest.approx(rho * s / (1 - rho))
+
+    def test_mm1_waits_exceed_md1_waits(self):
+        for rho in (0.1, 0.3, 0.6, 0.9):
+            md1_mean, md1_var = md1_waiting_time_moments(rho, 1e-4)
+            mm1_mean, mm1_var = mm1_waiting_time_moments(rho, 1e-4)
+            assert mm1_mean > md1_mean
+            assert mm1_var > md1_var
+
+    def test_moments_increase_with_utilization(self):
+        service = 8.2e-5
+        means, variances = zip(
+            *[md1_waiting_time_moments(rho, service) for rho in (0.05, 0.1, 0.2, 0.4, 0.8)]
+        )
+        assert all(b > a for a, b in zip(means, means[1:]))
+        assert all(b > a for a, b in zip(variances, variances[1:]))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            md1_waiting_time_moments(1.0, 1e-4)
+        with pytest.raises(AnalysisError):
+            md1_waiting_time_moments(-0.1, 1e-4)
+        with pytest.raises(AnalysisError):
+            md1_waiting_time_moments(0.5, 0.0)
+        with pytest.raises(AnalysisError):
+            mg1_waiting_time_moments(0.5, 1e-4, -1.0, 1e-12)
+        with pytest.raises(AnalysisError):
+            mg1_waiting_time_moments(0.5, 1e-4, 0.0, -1.0)
+
+    @given(rho=st.floats(min_value=0.01, max_value=0.95))
+    @settings(max_examples=100, deadline=None)
+    def test_variance_is_non_negative(self, rho):
+        _, var_md1 = md1_waiting_time_moments(rho, 1e-4)
+        _, var_mm1 = mm1_waiting_time_moments(rho, 1e-4)
+        assert var_md1 >= 0.0
+        assert var_mm1 >= 0.0
+
+    def test_mm1_against_monte_carlo(self, rng):
+        """Cross-check the P-K variance with a direct M/M/1 queue simulation."""
+        rho, service_mean = 0.5, 1e-3
+        lam = rho / service_mean
+        n = 200_000
+        arrivals = np.cumsum(rng.exponential(1.0 / lam, size=n))
+        services = rng.exponential(service_mean, size=n)
+        waits = np.empty(n)
+        waits[0] = 0.0
+        departure = arrivals[0] + services[0]
+        for i in range(1, n):
+            waits[i] = max(departure - arrivals[i], 0.0)
+            departure = arrivals[i] + waits[i] + services[i]
+        mean, variance = mm1_waiting_time_moments(rho, service_mean)
+        assert np.mean(waits) == pytest.approx(mean, rel=0.1)
+        assert np.var(waits) == pytest.approx(variance, rel=0.15)
+
+
+class TestPathVariance:
+    def test_piat_variance_is_twice_waiting_variance(self):
+        assert piat_variance_from_waiting(3.0) == 6.0
+        with pytest.raises(AnalysisError):
+            piat_variance_from_waiting(-1.0)
+
+    def test_path_variance_sums_over_hops(self):
+        single = path_piat_variance([0.3], [1e-4])
+        triple = path_piat_variance([0.3, 0.3, 0.3], [1e-4, 1e-4, 1e-4])
+        assert triple == pytest.approx(3 * single)
+
+    def test_model_selection(self):
+        md1 = path_piat_variance([0.5], [1e-4], model="md1")
+        mm1 = path_piat_variance([0.5], [1e-4], model="mm1")
+        assert mm1 > md1
+        with pytest.raises(AnalysisError):
+            path_piat_variance([0.5], [1e-4], model="gg1")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            path_piat_variance([0.5, 0.5], [1e-4])
+
+    def test_equivalent_sigma_net_is_sqrt(self):
+        variance = path_piat_variance([0.2, 0.3], [1e-4, 1e-4])
+        assert equivalent_sigma_net([0.2, 0.3], [1e-4, 1e-4]) == pytest.approx(np.sqrt(variance))
+
+    def test_more_hops_monotonically_increase_sigma_net(self):
+        sigmas = [
+            equivalent_sigma_net([0.2] * hops, [1e-4] * hops) for hops in (1, 3, 8, 15)
+        ]
+        assert all(b > a for a, b in zip(sigmas, sigmas[1:]))

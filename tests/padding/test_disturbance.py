@@ -1,0 +1,124 @@
+"""Tests for the gateway interrupt-disturbance model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PaddingError
+from repro.padding import InterruptDisturbance
+from repro.units import PAPER_HIGH_RATE_PPS, PAPER_LOW_RATE_PPS
+
+
+class TestSampling:
+    def test_delays_are_non_negative(self, rng):
+        model = InterruptDisturbance()
+        delays = [
+            model.sample_delay(rng, payload_arrival_times=[], timer_due_at=1.0)
+            for _ in range(1000)
+        ]
+        assert all(d >= 0.0 for d in delays)
+
+    def test_zero_model_gives_zero_delay(self, rng):
+        model = InterruptDisturbance(base_jitter_std=0.0, blocking_delay_mean=0.0)
+        assert model.sample_delay(rng, [0.999], timer_due_at=1.0) == 0.0
+
+    def test_blocking_only_counts_arrivals_in_window(self, rng):
+        model = InterruptDisturbance(base_jitter_std=0.0, blocking_window=1e-3, blocking_delay_mean=1e-4)
+        # Arrival well before the window: no blocking delay.
+        assert model.sample_delay(rng, [0.990], timer_due_at=1.0) == 0.0
+        # Arrival inside the window: strictly positive delay.
+        assert model.sample_delay(rng, [0.9995], timer_due_at=1.0) > 0.0
+
+    def test_more_blockers_means_larger_mean_delay(self, rng):
+        model = InterruptDisturbance(base_jitter_std=0.0, blocking_window=1e-2, blocking_delay_mean=1e-4)
+        few = np.mean([model.sample_delay(rng, [0.995], 1.0) for _ in range(3000)])
+        many = np.mean(
+            [model.sample_delay(rng, [0.991, 0.993, 0.995, 0.997, 0.999], 1.0) for _ in range(3000)]
+        )
+        assert many > few
+
+    def test_validation(self):
+        with pytest.raises(PaddingError):
+            InterruptDisturbance(base_jitter_std=-1.0)
+        with pytest.raises(PaddingError):
+            InterruptDisturbance(blocking_window=-1.0)
+        with pytest.raises(PaddingError):
+            InterruptDisturbance(blocking_delay_mean=-1.0)
+
+
+class TestAnalyticVariance:
+    def test_variance_increases_with_payload_rate(self):
+        model = InterruptDisturbance()
+        low = model.piat_variance(PAPER_LOW_RATE_PPS)
+        high = model.piat_variance(PAPER_HIGH_RATE_PPS)
+        assert high > low > 0.0
+
+    def test_variance_ratio_exceeds_one_for_cit(self):
+        model = InterruptDisturbance()
+        r = model.variance_ratio(PAPER_LOW_RATE_PPS, PAPER_HIGH_RATE_PPS)
+        assert r > 1.0
+
+    def test_default_calibration_lands_in_target_regime(self):
+        # DESIGN.md calibration target: r between 1.5 and 2.5 for the
+        # zero-cross-traffic CIT configuration.
+        model = InterruptDisturbance()
+        r = model.variance_ratio(PAPER_LOW_RATE_PPS, PAPER_HIGH_RATE_PPS)
+        assert 1.3 < r < 2.6
+
+    def test_timer_variance_pushes_ratio_toward_one(self):
+        model = InterruptDisturbance()
+        r_cit = model.variance_ratio(10.0, 40.0, timer_variance=0.0)
+        r_vit = model.variance_ratio(10.0, 40.0, timer_variance=(1e-3) ** 2)
+        assert r_vit < r_cit
+        assert r_vit == pytest.approx(1.0, abs=1e-3)
+
+    def test_net_variance_pushes_ratio_toward_one(self):
+        model = InterruptDisturbance()
+        r_clean = model.variance_ratio(10.0, 40.0)
+        r_noisy = model.variance_ratio(10.0, 40.0, net_variance=1e-7)
+        assert r_noisy < r_clean
+
+    def test_piat_variance_is_twice_delay_variance(self):
+        model = InterruptDisturbance()
+        assert model.piat_variance(25.0) == pytest.approx(2.0 * model.delay_variance(25.0))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(PaddingError):
+            InterruptDisturbance().delay_variance(-1.0)
+
+    def test_rate_ordering_enforced(self):
+        with pytest.raises(PaddingError):
+            InterruptDisturbance().variance_ratio(40.0, 10.0)
+
+    def test_degenerate_model_rejected(self):
+        model = InterruptDisturbance(base_jitter_std=0.0, blocking_delay_mean=0.0)
+        with pytest.raises(PaddingError):
+            model.variance_ratio(10.0, 40.0)
+
+    @given(
+        low=st.floats(min_value=1.0, max_value=50.0),
+        extra=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ratio_always_at_least_one(self, low, extra):
+        model = InterruptDisturbance()
+        r = model.variance_ratio(low, low + extra)
+        assert r >= 1.0
+
+    def test_empirical_delay_variance_matches_analytic(self, rng):
+        model = InterruptDisturbance()
+        rate = 40.0
+        window_arrivals = []
+        # Simulate Poisson payload arrivals in the blocking window for each interrupt.
+        delays = []
+        for _ in range(40000):
+            k = rng.poisson(rate * model.blocking_window)
+            arrivals = list(1.0 - rng.uniform(0.0, model.blocking_window, size=k))
+            delays.append(model.sample_delay(rng, arrivals, timer_due_at=1.0))
+        empirical = np.var(delays)
+        analytic = model.delay_variance(rate)
+        assert empirical == pytest.approx(analytic, rel=0.15)
+        del window_arrivals

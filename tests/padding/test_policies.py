@@ -1,0 +1,54 @@
+"""Tests for padding policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PaddingError
+from repro.padding import PaddingPolicy, cit_policy, vit_policy
+from repro.padding.timer import ConstantInterval, NormalInterval, UniformInterval
+
+
+class TestPaddingPolicy:
+    def test_cit_policy_defaults_to_paper_interval(self):
+        policy = cit_policy()
+        assert policy.kind == "CIT"
+        assert policy.mean_interval == pytest.approx(0.01)
+        assert policy.sigma_t == 0.0
+        assert policy.padded_rate_pps == pytest.approx(100.0)
+        assert isinstance(policy.make_timer(), ConstantInterval)
+
+    def test_vit_policy_creates_requested_family(self):
+        policy = vit_policy(sigma_t=1e-3, family="uniform")
+        assert policy.kind == "VIT"
+        assert policy.timer_variance == pytest.approx(1e-6)
+        timer = policy.make_timer()
+        assert isinstance(timer, UniformInterval)
+        assert timer.std == pytest.approx(1e-3)
+
+    def test_vit_default_family_is_normal(self):
+        assert isinstance(vit_policy(sigma_t=5e-4).make_timer(), NormalInterval)
+
+    def test_vit_requires_positive_sigma(self):
+        with pytest.raises(PaddingError):
+            vit_policy(sigma_t=0.0)
+
+    def test_policy_validation(self):
+        with pytest.raises(PaddingError):
+            PaddingPolicy(name="x", kind="CIT", mean_interval=0.01, sigma_t=1e-3)
+        with pytest.raises(PaddingError):
+            PaddingPolicy(name="x", kind="VIT", mean_interval=0.01, sigma_t=0.0)
+        with pytest.raises(PaddingError):
+            PaddingPolicy(name="x", kind="FOO", mean_interval=0.01)
+        with pytest.raises(PaddingError):
+            PaddingPolicy(name="x", kind="CIT", mean_interval=0.0)
+
+    def test_describe_mentions_parameters(self):
+        assert "CIT" in cit_policy().describe()
+        description = vit_policy(sigma_t=1e-3).describe()
+        assert "VIT" in description
+        assert "sigma_T" in description
+
+    def test_names_are_informative(self):
+        assert cit_policy().name == "CIT-10ms"
+        assert "sd1" in vit_policy(sigma_t=1e-3).name

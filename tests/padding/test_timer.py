@@ -1,0 +1,150 @@
+"""Tests for CIT/VIT interval generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PaddingError
+from repro.padding import (
+    ConstantInterval,
+    ExponentialInterval,
+    LognormalInterval,
+    NormalInterval,
+    UniformInterval,
+    make_interval_generator,
+)
+from repro.padding.timer import MIN_INTERVAL_S
+
+
+def _draws(generator, rng, n=20000):
+    return np.array([generator.sample(rng) for _ in range(n)])
+
+
+class TestConstantInterval:
+    def test_every_draw_equals_mean(self, rng):
+        gen = ConstantInterval(0.01)
+        assert gen.is_constant
+        assert gen.variance == 0.0
+        assert all(gen.sample(rng) == 0.01 for _ in range(100))
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(PaddingError):
+            ConstantInterval(0.0)
+
+
+class TestNormalInterval:
+    def test_moments_match_design(self, rng):
+        gen = NormalInterval(0.01, 0.001)
+        draws = _draws(gen, rng)
+        assert np.mean(draws) == pytest.approx(0.01, rel=0.01)
+        assert np.std(draws) == pytest.approx(0.001, rel=0.05)
+
+    def test_zero_std_degenerates_to_cit(self, rng):
+        gen = NormalInterval(0.01, 0.0)
+        assert gen.is_constant
+        assert gen.sample(rng) == 0.01
+
+    def test_draws_are_strictly_positive(self, rng):
+        # sigma comparable to the mean: without clipping some draws would be <= 0
+        gen = NormalInterval(0.001, 0.01)
+        draws = _draws(gen, rng, n=5000)
+        assert np.all(draws >= MIN_INTERVAL_S)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(PaddingError):
+            NormalInterval(0.01, -1e-3)
+
+
+class TestUniformInterval:
+    def test_moments_match_design(self, rng):
+        gen = UniformInterval(0.01, 0.002)
+        draws = _draws(gen, rng)
+        assert np.mean(draws) == pytest.approx(0.01, rel=0.01)
+        assert np.std(draws) == pytest.approx(0.002, rel=0.05)
+
+    def test_bounds(self, rng):
+        gen = UniformInterval(0.01, 0.002)
+        draws = _draws(gen, rng, n=5000)
+        half_width = 0.002 * np.sqrt(3)
+        assert np.all(draws >= 0.01 - half_width - 1e-12)
+        assert np.all(draws <= 0.01 + half_width + 1e-12)
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(PaddingError):
+            UniformInterval(0.01, 0.01)
+
+
+class TestExponentialInterval:
+    def test_moments_match_design(self, rng):
+        gen = ExponentialInterval(0.01, 0.003)
+        draws = _draws(gen, rng)
+        assert np.mean(draws) == pytest.approx(0.01, rel=0.02)
+        assert np.std(draws) == pytest.approx(0.003, rel=0.05)
+
+    def test_std_greater_than_mean_rejected(self):
+        with pytest.raises(PaddingError):
+            ExponentialInterval(0.01, 0.02)
+
+    def test_minimum_is_offset(self, rng):
+        gen = ExponentialInterval(0.01, 0.004)
+        draws = _draws(gen, rng, n=5000)
+        assert np.all(draws >= 0.006 - 1e-12)
+
+
+class TestLognormalInterval:
+    def test_moments_match_design(self, rng):
+        gen = LognormalInterval(0.01, 0.005)
+        draws = _draws(gen, rng, n=50000)
+        assert np.mean(draws) == pytest.approx(0.01, rel=0.02)
+        assert np.std(draws) == pytest.approx(0.005, rel=0.05)
+
+    def test_always_positive_even_with_large_std(self, rng):
+        gen = LognormalInterval(0.01, 0.05)
+        draws = _draws(gen, rng, n=5000)
+        assert np.all(draws > 0.0)
+
+    def test_zero_std(self, rng):
+        assert LognormalInterval(0.01, 0.0).sample(rng) == 0.01
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "family, cls",
+        [
+            ("constant", ConstantInterval),
+            ("cit", ConstantInterval),
+            ("normal", NormalInterval),
+            ("gaussian", NormalInterval),
+            ("uniform", UniformInterval),
+            ("exponential", ExponentialInterval),
+            ("lognormal", LognormalInterval),
+        ],
+    )
+    def test_family_dispatch(self, family, cls):
+        std = None if cls is ConstantInterval else 1e-3
+        gen = make_interval_generator(family, 0.01, std)
+        assert isinstance(gen, cls)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(PaddingError):
+            make_interval_generator("weibull", 0.01, 1e-3)
+
+    def test_constant_with_std_rejected(self):
+        with pytest.raises(PaddingError):
+            make_interval_generator("cit", 0.01, 1e-3)
+
+    @given(
+        mean=st.floats(min_value=1e-3, max_value=0.1),
+        frac=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_all_families_respect_design_parameters(self, mean, frac):
+        std = mean * frac
+        for family in ("normal", "uniform", "exponential", "lognormal"):
+            gen = make_interval_generator(family, mean, std)
+            assert gen.mean == pytest.approx(mean)
+            assert gen.std == pytest.approx(std)
+            assert gen.variance == pytest.approx(std**2)

@@ -1,0 +1,138 @@
+"""Tests for simulation monitors (counters, time series, interval recorders)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CounterMonitor, IntervalMonitor, TimeSeriesMonitor
+
+
+class TestCounterMonitor:
+    def test_counters_start_at_zero(self):
+        assert CounterMonitor().get("anything") == 0
+
+    def test_increment_default_and_amount(self):
+        counters = CounterMonitor()
+        counters.increment("sent")
+        counters.increment("sent", 4)
+        assert counters.get("sent") == 5
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            CounterMonitor().increment("sent", -1)
+
+    def test_as_dict_snapshot_and_reset(self):
+        counters = CounterMonitor()
+        counters.increment("a")
+        snapshot = counters.as_dict()
+        counters.increment("a")
+        assert snapshot == {"a": 1}
+        counters.reset()
+        assert counters.get("a") == 0
+
+
+class TestTimeSeriesMonitor:
+    def test_records_and_exposes_arrays(self):
+        series = TimeSeriesMonitor("queue")
+        series.record(0.0, 1.0)
+        series.record(1.0, 3.0)
+        assert len(series) == 2
+        assert np.array_equal(series.times, [0.0, 1.0])
+        assert np.array_equal(series.values, [1.0, 3.0])
+
+    def test_out_of_order_rejected(self):
+        series = TimeSeriesMonitor()
+        series.record(2.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(1.0, 1.0)
+
+    def test_mean_and_maximum(self):
+        series = TimeSeriesMonitor()
+        for t, v in [(0.0, 2.0), (1.0, 4.0), (2.0, 6.0)]:
+            series.record(t, v)
+        assert series.mean() == pytest.approx(4.0)
+        assert series.maximum() == 6.0
+
+    def test_time_average_is_step_weighted(self):
+        series = TimeSeriesMonitor()
+        series.record(0.0, 0.0)
+        series.record(1.0, 10.0)
+        # value 0 holds for 1 s, value 10 holds for 3 s
+        assert series.time_average(until=4.0) == pytest.approx(7.5)
+
+    def test_time_average_until_before_last_rejected(self):
+        series = TimeSeriesMonitor()
+        series.record(0.0, 1.0)
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.time_average(until=2.0)
+
+    def test_empty_monitor_raises(self):
+        series = TimeSeriesMonitor()
+        with pytest.raises(ValueError):
+            series.mean()
+        with pytest.raises(ValueError):
+            series.maximum()
+        with pytest.raises(ValueError):
+            series.time_average()
+
+    def test_reset(self):
+        series = TimeSeriesMonitor()
+        series.record(0.0, 1.0)
+        series.reset()
+        assert len(series) == 0
+
+
+class TestIntervalMonitor:
+    def test_intervals_are_diffs_of_timestamps(self):
+        monitor = IntervalMonitor()
+        for t in [0.0, 0.01, 0.03, 0.06]:
+            monitor.record(t)
+        assert np.allclose(monitor.intervals(), [0.01, 0.02, 0.03])
+
+    def test_fewer_than_two_events_gives_empty_intervals(self):
+        monitor = IntervalMonitor()
+        assert monitor.intervals().size == 0
+        monitor.record(1.0)
+        assert monitor.intervals().size == 0
+
+    def test_decreasing_timestamp_rejected(self):
+        monitor = IntervalMonitor()
+        monitor.record(1.0)
+        with pytest.raises(ValueError):
+            monitor.record(0.5)
+
+    def test_rate_estimation(self):
+        monitor = IntervalMonitor()
+        for t in np.arange(0.0, 1.01, 0.01):
+            monitor.record(float(t))
+        assert monitor.rate() == pytest.approx(100.0, rel=1e-6)
+
+    def test_rate_needs_two_events_and_positive_span(self):
+        monitor = IntervalMonitor()
+        monitor.record(1.0)
+        with pytest.raises(ValueError):
+            monitor.rate()
+        monitor.record(1.0)
+        with pytest.raises(ValueError):
+            monitor.rate()
+
+    def test_reset(self):
+        monitor = IntervalMonitor()
+        monitor.record(0.0)
+        monitor.reset()
+        assert len(monitor) == 0
+
+    @given(
+        gaps=st.lists(st.floats(min_value=1e-6, max_value=10.0), min_size=1, max_size=100)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_interval_reconstruction_property(self, gaps):
+        monitor = IntervalMonitor()
+        timestamps = np.concatenate(([0.0], np.cumsum(gaps)))
+        for t in timestamps:
+            monitor.record(float(t))
+        assert np.allclose(monitor.intervals(), gaps)

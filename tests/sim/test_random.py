@@ -1,0 +1,68 @@
+"""Tests for named reproducible random streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_name_same_draws(self):
+        a = RandomStreams(seed=42).get("payload").random(10)
+        b = RandomStreams(seed=42).get("payload").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_names_give_different_draws(self):
+        streams = RandomStreams(seed=42)
+        a = streams.get("payload").random(10)
+        b = streams.get("cross").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_give_different_draws(self):
+        a = RandomStreams(seed=1).get("payload").random(10)
+        b = RandomStreams(seed=2).get("payload").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(seed=7)
+        assert streams.get("x") is streams.get("x")
+
+    def test_creation_order_does_not_matter(self):
+        first = RandomStreams(seed=9)
+        first.get("a")
+        a_then_b = first.get("b").random(5)
+
+        second = RandomStreams(seed=9)
+        b_only = second.get("b").random(5)
+        assert np.array_equal(a_then_b, b_only)
+
+    def test_spawn_creates_independent_streams(self):
+        streams = RandomStreams(seed=3)
+        children = list(streams.spawn("cross", 4))
+        assert len(children) == 4
+        draws = [rng.random(5) for rng in children]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(seed=1).spawn("x", -1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(seed=1).get("")
+
+    def test_names_and_contains(self):
+        streams = RandomStreams(seed=5)
+        streams.get("b")
+        streams.get("a")
+        assert list(streams.names()) == ["a", "b"]
+        assert "a" in streams
+        assert "zzz" not in streams
+
+    def test_seed_property(self):
+        assert RandomStreams(seed=11).seed == 11
+        assert RandomStreams().seed is None

@@ -1,0 +1,67 @@
+"""Tests for bootstrap confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.stats import bootstrap_ci, bootstrap_detection_rate_ci
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_the_estimate(self, rng):
+        data = rng.normal(10.0, 1.0, size=200)
+        result = bootstrap_ci(data, rng=rng)
+        assert result.lower <= result.estimate <= result.upper
+        assert result.contains(result.estimate)
+
+    def test_interval_covers_true_mean_for_well_behaved_data(self, rng):
+        data = rng.normal(5.0, 2.0, size=500)
+        result = bootstrap_ci(data, confidence=0.99, rng=rng)
+        assert result.contains(5.0)
+
+    def test_width_shrinks_with_sample_size(self, rng):
+        small = bootstrap_ci(rng.normal(size=30), rng=rng)
+        large = bootstrap_ci(rng.normal(size=3000), rng=rng)
+        assert large.width < small.width
+
+    def test_custom_statistic(self, rng):
+        data = rng.normal(size=300)
+        result = bootstrap_ci(data, statistic=np.median, rng=rng)
+        assert result.estimate == pytest.approx(float(np.median(data)))
+
+    def test_reproducible_with_seeded_rng(self):
+        data = np.arange(50.0)
+        a = bootstrap_ci(data, rng=np.random.default_rng(3))
+        b = bootstrap_ci(data, rng=np.random.default_rng(3))
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_validation(self, rng):
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0], rng=rng)
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5, rng=rng)
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0, 2.0], resamples=5, rng=rng)
+
+
+class TestDetectionRateCI:
+    def test_rate_and_bounds(self, rng):
+        flags = [True] * 80 + [False] * 20
+        result = bootstrap_detection_rate_ci(flags, rng=rng)
+        assert result.estimate == pytest.approx(0.8)
+        assert 0.7 < result.lower < 0.8 < result.upper < 0.9
+
+    def test_all_correct(self, rng):
+        result = bootstrap_detection_rate_ci([True] * 50, rng=rng)
+        assert result.estimate == 1.0
+        assert result.upper == 1.0
+
+    def test_non_boolean_rejected(self, rng):
+        with pytest.raises(AnalysisError):
+            bootstrap_detection_rate_ci([0.5, 0.7], rng=rng)
+
+    def test_too_few_trials_rejected(self, rng):
+        with pytest.raises(AnalysisError):
+            bootstrap_detection_rate_ci([True], rng=rng)

@@ -1,0 +1,113 @@
+"""Tests for descriptive statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import AnalysisError
+from repro.stats import (
+    coefficient_of_variation,
+    sample_mean,
+    sample_moments,
+    sample_variance,
+    standard_error_of_mean,
+    summarize,
+)
+
+
+class TestBasicStatistics:
+    def test_sample_mean(self):
+        assert sample_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_sample_variance_uses_n_minus_1(self):
+        # Var([1,2,3]) with ddof=1 is exactly 1.0
+        assert sample_variance([1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_sample_moments_consistent(self):
+        data = np.array([0.5, 1.5, 2.5, 10.0])
+        mean, variance = sample_moments(data)
+        assert mean == pytest.approx(sample_mean(data))
+        assert variance == pytest.approx(sample_variance(data))
+
+    def test_standard_error_of_mean(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        assert standard_error_of_mean(data) == pytest.approx(np.std(data, ddof=1) / 2.0)
+
+    def test_coefficient_of_variation(self):
+        data = np.array([2.0, 4.0, 6.0])
+        assert coefficient_of_variation(data) == pytest.approx(np.std(data, ddof=1) / 4.0)
+
+    def test_coefficient_of_variation_zero_mean_rejected(self):
+        with pytest.raises(AnalysisError):
+            coefficient_of_variation([-1.0, 1.0])
+
+
+class TestValidation:
+    def test_empty_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            sample_mean([])
+
+    def test_variance_needs_two_points(self):
+        with pytest.raises(AnalysisError):
+            sample_variance([1.0])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(AnalysisError):
+            sample_mean(np.zeros((2, 2)))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(AnalysisError):
+            sample_mean([1.0, np.nan])
+        with pytest.raises(AnalysisError):
+            sample_variance([1.0, np.inf])
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        data = np.arange(1.0, 101.0)
+        summary = summarize(data)
+        assert summary.size == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 100.0
+        assert summary.median == pytest.approx(50.5)
+        assert summary.iqr == pytest.approx(summary.q75 - summary.q25)
+
+    def test_summary_std_matches_variance(self):
+        data = np.array([1.0, 5.0, 9.0, 13.0])
+        summary = summarize(data)
+        assert summary.std**2 == pytest.approx(summary.variance)
+
+
+class TestProperties:
+    @given(
+        data=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=200
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_variance_non_negative_and_matches_numpy(self, data):
+        variance = sample_variance(data)
+        assert variance >= 0.0
+        assert variance == pytest.approx(float(np.var(data, ddof=1)), rel=1e-9, abs=1e-12)
+
+    @given(
+        data=st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50),
+        shift=st.floats(min_value=-50, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mean_shift_equivariance(self, data, shift):
+        shifted = [x + shift for x in data]
+        assert sample_mean(shifted) == pytest.approx(sample_mean(data) + shift, abs=1e-9)
+
+    @given(
+        data=st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=50),
+        shift=st.floats(min_value=-50, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_variance_shift_invariance(self, data, shift):
+        shifted = [x + shift for x in data]
+        assert sample_variance(shifted) == pytest.approx(sample_variance(data), abs=1e-7)

@@ -1,0 +1,103 @@
+"""Tests for entropy estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import AnalysisError
+from repro.stats import histogram_entropy, moddemeijer_entropy, normal_differential_entropy
+
+
+class TestNormalDifferentialEntropy:
+    def test_standard_normal_value(self):
+        # 0.5 * ln(2 pi e) ~= 1.4189
+        assert normal_differential_entropy(1.0) == pytest.approx(1.41894, abs=1e-4)
+
+    def test_monotone_in_variance(self):
+        assert normal_differential_entropy(4.0) > normal_differential_entropy(1.0)
+
+    def test_invalid_variance(self):
+        with pytest.raises(AnalysisError):
+            normal_differential_entropy(0.0)
+
+
+class TestHistogramEntropy:
+    def test_estimates_normal_entropy(self, rng):
+        sigma = 2.0
+        data = rng.normal(0.0, sigma, size=100_000)
+        estimate = histogram_entropy(data, bin_width=0.05, include_bin_width_term=True)
+        assert estimate == pytest.approx(normal_differential_entropy(sigma**2), abs=0.05)
+
+    def test_estimates_uniform_entropy(self, rng):
+        # Uniform on [0, 4]: differential entropy = ln(4)
+        data = rng.uniform(0.0, 4.0, size=100_000)
+        estimate = histogram_entropy(data, bin_width=0.05, include_bin_width_term=True)
+        assert estimate == pytest.approx(np.log(4.0), abs=0.05)
+
+    def test_bin_width_term_is_additive_constant(self, rng):
+        data = rng.normal(size=5000)
+        with_term = histogram_entropy(data, bin_width=0.1, include_bin_width_term=True)
+        without = histogram_entropy(data, bin_width=0.1, include_bin_width_term=False)
+        assert with_term - without == pytest.approx(np.log(0.1))
+
+    def test_degenerate_sample(self):
+        data = np.full(100, 2.5)
+        assert histogram_entropy(data, bin_width=0.1, include_bin_width_term=False) == 0.0
+
+    def test_automatic_binning(self, rng):
+        data = rng.normal(size=2000)
+        value = histogram_entropy(data)
+        assert np.isfinite(value)
+
+    def test_validation(self, rng):
+        data = rng.normal(size=100)
+        with pytest.raises(AnalysisError):
+            histogram_entropy(data, bin_width=0.1, bins=10)
+        with pytest.raises(AnalysisError):
+            histogram_entropy(data, bin_width=-0.1)
+        with pytest.raises(AnalysisError):
+            histogram_entropy([1.0])
+        with pytest.raises(AnalysisError):
+            histogram_entropy(np.array([[1.0, 2.0]]))
+        with pytest.raises(AnalysisError):
+            histogram_entropy([1.0, np.inf])
+
+
+class TestModdemeijerEntropy:
+    def test_distinguishes_variances(self, rng):
+        """Larger spread -> larger histogram entropy (the attack's core signal)."""
+        bin_width = 0.01
+        narrow = moddemeijer_entropy(rng.normal(0.0, 0.05, size=2000), bin_width)
+        wide = moddemeijer_entropy(rng.normal(0.0, 0.10, size=2000), bin_width)
+        assert wide > narrow
+
+    def test_robust_to_a_single_outlier(self, rng):
+        """An extreme outlier barely moves the entropy but inflates the variance."""
+        bin_width = 0.01
+        base = rng.normal(0.0, 0.05, size=2000)
+        polluted = np.concatenate([base, [50.0]])
+        entropy_shift = abs(
+            moddemeijer_entropy(polluted, bin_width) - moddemeijer_entropy(base, bin_width)
+        )
+        variance_ratio = np.var(polluted, ddof=1) / np.var(base, ddof=1)
+        assert entropy_shift < 0.05       # entropy: essentially unchanged
+        assert variance_ratio > 100.0     # variance: catastrophically inflated
+
+    def test_scale_equivariance_through_bins(self, rng):
+        """Doubling both the data spread and the bin width leaves the estimate unchanged."""
+        data = rng.normal(0.0, 1.0, size=5000)
+        a = moddemeijer_entropy(data, 0.05)
+        b = moddemeijer_entropy(2.0 * data, 0.10)
+        assert a == pytest.approx(b, abs=0.05)
+
+    @given(scale=st.floats(min_value=0.5, max_value=5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_entropy_increases_with_scale(self, scale):
+        rng = np.random.default_rng(42)
+        data = rng.normal(0.0, 1.0, size=3000)
+        narrow = moddemeijer_entropy(data, 0.05)
+        wide = moddemeijer_entropy(data * (1.0 + scale), 0.05)
+        assert wide > narrow

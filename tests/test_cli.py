@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import PRESETS, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_figure(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+        capsys.readouterr()
+
+    def test_rejects_unknown_figure(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+        capsys.readouterr()
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.preset == "fast"
+        assert args.seed == 2003
+        assert args.output is None
+
+    def test_presets_are_accepted(self):
+        for preset in PRESETS:
+            args = build_parser().parse_args(["fig5", "--preset", preset])
+            assert args.preset == preset
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestMain:
+    @pytest.mark.parametrize("figure", ["fig4", "fig5", "fig6", "fig8"])
+    def test_quick_preset_runs_every_figure(self, figure, capsys):
+        exit_code = main([figure, "--preset", "quick", "--seed", "5"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure" in out
+        assert "detection" in out.lower()
+
+    def test_output_file_written(self, tmp_path, capsys):
+        target = tmp_path / "reports" / "fig4.txt"
+        exit_code = main(["fig4", "--preset", "quick", "--output", str(target)])
+        assert exit_code == 0
+        assert target.exists()
+        assert "Figure 4" in target.read_text()
+        capsys.readouterr()
+
+    def test_seed_changes_empirical_numbers_but_not_structure(self, capsys):
+        main(["fig4", "--preset", "quick", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["fig4", "--preset", "quick", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first.splitlines()[0] == second.splitlines()[0]
+        assert first != second
+
+    def test_same_seed_is_reproducible(self, capsys):
+        main(["fig5", "--preset", "quick", "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["fig5", "--preset", "quick", "--seed", "3"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,77 @@
+"""Tests for unit conversion helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_ms_round_trip(self):
+        assert units.s_to_ms(units.ms_to_s(10.0)) == pytest.approx(10.0)
+
+    def test_us_round_trip(self):
+        assert units.s_to_us(units.us_to_s(250.0)) == pytest.approx(250.0)
+
+    def test_paper_constants(self):
+        assert units.PAPER_TIMER_INTERVAL_S == pytest.approx(0.010)
+        assert units.PAPER_LOW_RATE_PPS == 10.0
+        assert units.PAPER_HIGH_RATE_PPS == 40.0
+
+    def test_array_inputs(self):
+        out = units.ms_to_s(np.array([1.0, 10.0]))
+        assert np.allclose(out, [0.001, 0.010])
+
+
+class TestRateConversions:
+    def test_pps_to_interval(self):
+        assert units.pps_to_interval(100.0) == pytest.approx(0.01)
+
+    def test_interval_to_pps(self):
+        assert units.interval_to_pps(0.01) == pytest.approx(100.0)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.pps_to_interval(0.0)
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValueError):
+            units.interval_to_pps(0.0)
+
+    @given(rate=st.floats(min_value=1e-3, max_value=1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_rate_interval_round_trip(self, rate):
+        assert units.interval_to_pps(units.pps_to_interval(rate)) == pytest.approx(rate)
+
+
+class TestLinkMath:
+    def test_serialization_delay(self):
+        # 512 bytes at 10 Mbit/s -> 4096 bits / 1e7 bps
+        assert units.serialization_delay(512, 10e6) == pytest.approx(4.096e-4)
+
+    def test_serialization_delay_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            units.serialization_delay(512, 0.0)
+
+    def test_utilization(self):
+        # 100 pps of 512-byte packets over 10 Mbit/s ~= 4.1% utilization
+        value = units.utilization(100.0, 512, 10e6)
+        assert value == pytest.approx(0.04096)
+
+    def test_utilization_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            units.utilization(-1.0, 512, 10e6)
+
+    def test_rate_for_utilization_inverts_utilization(self):
+        rate = units.rate_for_utilization(0.3, 512, 100e6)
+        assert units.utilization(rate, 512, 100e6) == pytest.approx(0.3)
+
+    @given(target=st.floats(min_value=0.0, max_value=0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_rate_for_utilization_round_trip(self, target):
+        rate = units.rate_for_utilization(target, 512, 10e6)
+        assert units.utilization(rate, 512, 10e6) == pytest.approx(target, abs=1e-12)

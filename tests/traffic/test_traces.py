@@ -1,0 +1,97 @@
+"""Tests for trace generation and serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TrafficError
+from repro.traffic import generate_piat_trace, load_trace, save_trace, trace_from_timestamps
+from repro.traffic.traces import Trace
+
+
+class TestTrace:
+    def test_intervals_and_duration(self):
+        trace = trace_from_timestamps([0.0, 0.01, 0.03], label="x")
+        assert np.allclose(trace.intervals(), [0.01, 0.02])
+        assert trace.duration() == pytest.approx(0.03)
+        assert trace.metadata["label"] == "x"
+
+    def test_mean_rate(self):
+        trace = trace_from_timestamps(np.arange(0.0, 1.001, 0.01))
+        assert trace.mean_rate_pps() == pytest.approx(100.0, rel=1e-6)
+
+    def test_short_trace_rate_raises(self):
+        with pytest.raises(TrafficError):
+            trace_from_timestamps([1.0]).mean_rate_pps()
+
+    def test_decreasing_timestamps_rejected(self):
+        with pytest.raises(TrafficError):
+            Trace(np.array([1.0, 0.5]))
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(TrafficError):
+            Trace(np.zeros((2, 2)))
+
+    def test_len(self):
+        assert len(trace_from_timestamps([0.0, 1.0, 2.0])) == 3
+
+
+class TestGeneratePiatTrace:
+    def test_respects_requested_size_and_mean(self, rng):
+        trace = generate_piat_trace(2001, mean_interval=0.01, jitter_std=1e-4, rng=rng)
+        assert len(trace) == 2001
+        assert np.mean(trace.intervals()) == pytest.approx(0.01, rel=0.01)
+
+    def test_zero_jitter_is_perfectly_periodic(self, rng):
+        trace = generate_piat_trace(100, mean_interval=0.01, jitter_std=0.0, rng=rng)
+        assert np.allclose(trace.intervals(), 0.01)
+
+    def test_intervals_never_negative(self, rng):
+        trace = generate_piat_trace(5000, mean_interval=0.001, jitter_std=0.01, rng=rng)
+        assert np.all(trace.intervals() > 0.0)
+
+    def test_metadata_recorded(self, rng):
+        trace = generate_piat_trace(10, 0.01, 1e-5, rng=rng, rate_label="high")
+        assert trace.metadata["rate_label"] == "high"
+        assert trace.metadata["mean_interval"] == pytest.approx(0.01)
+
+    def test_validation(self, rng):
+        with pytest.raises(TrafficError):
+            generate_piat_trace(1, 0.01, 0.0, rng=rng)
+        with pytest.raises(TrafficError):
+            generate_piat_trace(10, 0.0, 0.0, rng=rng)
+        with pytest.raises(TrafficError):
+            generate_piat_trace(10, 0.01, -1.0, rng=rng)
+
+    def test_reproducible_with_seeded_rng(self):
+        a = generate_piat_trace(100, 0.01, 1e-4, rng=np.random.default_rng(5))
+        b = generate_piat_trace(100, 0.01, 1e-4, rng=np.random.default_rng(5))
+        assert np.array_equal(a.timestamps, b.timestamps)
+
+    @given(n=st.integers(min_value=2, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_timestamps_strictly_increasing(self, n):
+        trace = generate_piat_trace(n, 0.01, 2e-3, rng=np.random.default_rng(n))
+        assert np.all(np.diff(trace.timestamps) > 0.0)
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path, rng):
+        trace = generate_piat_trace(50, 0.01, 1e-4, rng=rng, padding="CIT")
+        path = save_trace(trace, tmp_path / "trace.npz")
+        loaded = load_trace(path)
+        assert np.allclose(loaded.timestamps, trace.timestamps)
+        assert loaded.metadata["padding"] == "CIT"
+
+    def test_round_trip_without_npz_suffix(self, tmp_path, rng):
+        trace = generate_piat_trace(20, 0.01, 1e-4, rng=rng)
+        save_trace(trace, tmp_path / "capture")
+        loaded = load_trace(tmp_path / "capture")
+        assert len(loaded) == 20
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TrafficError):
+            load_trace(tmp_path / "does-not-exist.npz")
