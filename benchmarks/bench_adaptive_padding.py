@@ -12,7 +12,6 @@ each scheme spends.
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import run_once
 
 from repro.adversary.detection import evaluate_attack

@@ -4,6 +4,10 @@ Detection rate at a fixed sample size versus the shared link's utilization.
 Expected shape: detection decreases as cross traffic (and hence ``sigma_net``)
 grows; sample entropy degrades more gracefully than sample variance; the
 sample mean stays near the 50 % floor throughout.
+
+Both sweeps run their utilization grids through the parallel sweep runner
+(one worker per grid cell, up to ``JOBS``), so the benchmark measures the
+fanned-out wall-clock the CLI's ``--jobs`` users actually see.
 """
 
 from __future__ import annotations
@@ -11,6 +15,9 @@ from __future__ import annotations
 from conftest import run_once
 
 from repro.experiments import CollectionMode, Fig6Config, Fig6Experiment
+from repro.runner import SweepRunner
+
+JOBS = 4
 
 
 def test_fig6_cross_traffic_simulation(benchmark, record_figure):
@@ -28,7 +35,8 @@ def test_fig6_cross_traffic_simulation(benchmark, record_figure):
         mode=CollectionMode.SIMULATION,
         seed=2003,
     )
-    result = run_once(benchmark, Fig6Experiment(config).run)
+    experiment = Fig6Experiment(config)
+    result = run_once(benchmark, lambda: experiment.run(runner=SweepRunner(jobs=JOBS)))
     record_figure("fig6_cross_traffic_simulation", result.to_text())
 
     assert result.variance_ratios[0.4] < result.variance_ratios[0.05]
@@ -45,7 +53,8 @@ def test_fig6_cross_traffic_full_sweep_hybrid(benchmark, record_figure):
         mode=CollectionMode.HYBRID,
         seed=2003,
     )
-    result = run_once(benchmark, Fig6Experiment(config).run)
+    experiment = Fig6Experiment(config)
+    result = run_once(benchmark, lambda: experiment.run(runner=SweepRunner(jobs=JOBS)))
     record_figure("fig6_cross_traffic_full_sweep", result.to_text())
 
     for feature in ("variance", "entropy"):

@@ -10,9 +10,13 @@ Reproduces the laboratory half of the paper's evaluation end to end:
 * the Figure 6 sweep (CIT behind a shared router): detection rate vs. the
   shared link's utilization.
 
-Each section prints the same rows the corresponding figure plots.  Expect a
-couple of minutes of run time with the default (event-simulation) settings;
-pass ``--fast`` to use the analytic/hybrid fast paths instead.
+Each section prints the same rows the corresponding figure plots.  The three
+scenario grids run through the parallel sweep runner: pass ``--jobs 4`` to
+fan the grid cells out over four worker processes and ``--cache-dir DIR`` to
+persist the results, in which case a second invocation replays from the cache
+without simulating anything.  Expect a couple of minutes of run time with the
+default (event-simulation, single-process) settings; pass ``--fast`` to use
+the analytic/hybrid fast paths instead.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from repro.experiments import (
     Fig6Config,
     Fig6Experiment,
 )
+from repro.runner import ResultsStore, SweepRunner
 
 
 def main() -> None:
@@ -37,7 +42,21 @@ def main() -> None:
         action="store_true",
         help="use the analytic/hybrid collection modes instead of full event simulation",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent grid cells (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist sweep results here; a second run replays from the cache",
+    )
     args = parser.parse_args()
+
+    store = ResultsStore(args.cache_dir) if args.cache_dir else None
+    runner = SweepRunner(jobs=args.jobs, store=store, progress=print)
 
     fig4_mode = CollectionMode.ANALYTIC if args.fast else CollectionMode.SIMULATION
     fig6_mode = CollectionMode.HYBRID if args.fast else CollectionMode.SIMULATION
@@ -49,7 +68,7 @@ def main() -> None:
             trials=15,
             mode=fig4_mode,
         )
-    ).run()
+    ).run(runner=runner)
     print(fig4.to_text())
 
     print("=== Figure 5(a): VIT padding, detection rate vs sigma_T ===")
@@ -60,7 +79,7 @@ def main() -> None:
             trials=10,
             mode=fig4_mode,
         )
-    ).run()
+    ).run(runner=runner)
     print(fig5.to_text())
 
     print("=== Figure 6: CIT padding behind a shared router, cross-traffic sweep ===")
@@ -71,9 +90,10 @@ def main() -> None:
             trials=8,
             mode=fig6_mode,
         )
-    ).run()
+    ).run(runner=runner)
     print(fig6.to_text())
 
+    print(runner.summary())
     print("Summary:")
     print(
         f"  CIT without cross traffic: variance/entropy reach "

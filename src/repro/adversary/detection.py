@@ -16,7 +16,7 @@ This module turns raw PIAT captures into the numbers the paper plots:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 

@@ -1,18 +1,25 @@
-"""Command-line entry point: regenerate any of the paper's figures.
+"""Command-line entry point: regenerate the paper's figures, serially or swept.
 
 ``python -m repro <figure> [options]`` runs one experiment with a
-configuration scaled by ``--preset`` and prints the regenerated rows:
+configuration scaled by ``--preset`` and prints the regenerated rows;
+``python -m repro sweep`` runs several figure grids through the parallel
+sweep runner in one go:
 
 ```
-python -m repro fig4                   # full event simulation, paper-like sizes
-python -m repro fig5 --preset quick    # small/fast configuration
-python -m repro fig6 --preset fast     # hybrid network model, full sweep
+python -m repro fig4                        # full event simulation, paper-like sizes
+python -m repro fig5 --preset quick         # small/fast configuration
+python -m repro fig6 --preset fast --jobs 4 # hybrid sweep across 4 worker processes
 python -m repro fig8 --seed 7 --output fig8.txt
+python -m repro sweep --preset smoke --jobs 2 --cache-dir .sweep-cache
+python -m repro sweep --figures fig6 fig8 --preset fast --jobs 8
 ```
 
-The CLI is a thin veneer over :mod:`repro.experiments`; anything beyond
-preset/seed/output selection is done in Python against the ``Fig*Config``
-dataclasses directly.
+Every command accepts ``--jobs`` (worker processes for independent grid
+cells) and ``--cache-dir`` (a persistent :class:`repro.runner.ResultsStore`;
+re-running the same grid against the same cache directory performs zero
+simulations).  The CLI is otherwise a thin veneer over
+:mod:`repro.experiments`; anything beyond preset/seed/output selection is
+done in Python against the ``Fig*Config`` dataclasses directly.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
 from repro._version import __version__
+from repro.exceptions import ReproError
 from repro.experiments import (
     CollectionMode,
     Fig4Config,
@@ -34,12 +42,15 @@ from repro.experiments import (
     Fig8Config,
     Fig8Experiment,
 )
+from repro.runner import ResultsStore, SweepRunner
 
 #: Presets trade fidelity against run time.  ``paper`` uses full event
 #: simulation with figure-like sample sizes; ``fast`` switches the network to
 #: the hybrid/analytic models; ``quick`` additionally shrinks the sweeps so
-#: every figure finishes in a few seconds (used by the CLI tests).
-PRESETS = ("paper", "fast", "quick")
+#: every figure finishes in a few seconds (used by the CLI tests); ``smoke``
+#: is a tiny all-analytic grid used by the CI smoke job to exercise the sweep
+#: runner and its cache end-to-end in seconds.
+PRESETS = ("paper", "fast", "quick", "smoke")
 
 
 def _fig4_config(preset: str, seed: int) -> Fig4Config:
@@ -47,8 +58,12 @@ def _fig4_config(preset: str, seed: int) -> Fig4Config:
         return Fig4Config(seed=seed)
     if preset == "fast":
         return Fig4Config(trials=20, mode=CollectionMode.ANALYTIC, seed=seed)
+    if preset == "quick":
+        return Fig4Config(
+            sample_sizes=(50, 200, 1000), trials=10, mode=CollectionMode.ANALYTIC, seed=seed
+        )
     return Fig4Config(
-        sample_sizes=(50, 200, 1000), trials=10, mode=CollectionMode.ANALYTIC, seed=seed
+        sample_sizes=(50, 200), trials=6, mode=CollectionMode.ANALYTIC, seed=seed
     )
 
 
@@ -57,10 +72,18 @@ def _fig5_config(preset: str, seed: int) -> Fig5Config:
         return Fig5Config(seed=seed)
     if preset == "fast":
         return Fig5Config(trials=12, mode=CollectionMode.ANALYTIC, seed=seed)
+    if preset == "quick":
+        return Fig5Config(
+            sigma_t_values=(0.0, 1e-4, 1e-3),
+            sample_size=500,
+            trials=8,
+            mode=CollectionMode.ANALYTIC,
+            seed=seed,
+        )
     return Fig5Config(
-        sigma_t_values=(0.0, 1e-4, 1e-3),
-        sample_size=500,
-        trials=8,
+        sigma_t_values=(0.0, 1e-3),
+        sample_size=200,
+        trials=6,
         mode=CollectionMode.ANALYTIC,
         seed=seed,
     )
@@ -71,11 +94,19 @@ def _fig6_config(preset: str, seed: int) -> Fig6Config:
         return Fig6Config(seed=seed)
     if preset == "fast":
         return Fig6Config(trials=15, mode=CollectionMode.HYBRID, seed=seed)
+    if preset == "quick":
+        return Fig6Config(
+            utilizations=(0.05, 0.4),
+            sample_size=400,
+            trials=8,
+            mode=CollectionMode.HYBRID,
+            seed=seed,
+        )
     return Fig6Config(
-        utilizations=(0.05, 0.4),
-        sample_size=400,
-        trials=8,
-        mode=CollectionMode.HYBRID,
+        utilizations=(0.05, 0.3),
+        sample_size=200,
+        trials=6,
+        mode=CollectionMode.ANALYTIC,
         seed=seed,
     )
 
@@ -85,35 +116,35 @@ def _fig8_config(preset: str, seed: int) -> Fig8Config:
         return Fig8Config(seed=seed)
     if preset == "fast":
         return Fig8Config(trials=15, mode=CollectionMode.HYBRID, seed=seed)
+    if preset == "quick":
+        return Fig8Config(
+            hours=(2, 14),
+            sample_size=400,
+            trials=8,
+            mode=CollectionMode.HYBRID,
+            seed=seed,
+        )
     return Fig8Config(
         hours=(2, 14),
-        sample_size=400,
-        trials=8,
-        mode=CollectionMode.HYBRID,
+        sample_size=200,
+        trials=6,
+        mode=CollectionMode.ANALYTIC,
         seed=seed,
     )
 
 
+#: Experiment factories keyed by figure name.  Each returned experiment
+#: exposes ``cells()`` / ``run(runner)`` / ``assemble(report)`` so the sweep
+#: subcommand can pool every figure's cells into one combined runner call.
 _FIGURES: Dict[str, Callable[[str, int], object]] = {
-    "fig4": lambda preset, seed: Fig4Experiment(_fig4_config(preset, seed)).run(),
-    "fig5": lambda preset, seed: Fig5Experiment(_fig5_config(preset, seed)).run(),
-    "fig6": lambda preset, seed: Fig6Experiment(_fig6_config(preset, seed)).run(),
-    "fig8": lambda preset, seed: Fig8Experiment(_fig8_config(preset, seed)).run(),
+    "fig4": lambda preset, seed: Fig4Experiment(_fig4_config(preset, seed)),
+    "fig5": lambda preset, seed: Fig5Experiment(_fig5_config(preset, seed)),
+    "fig6": lambda preset, seed: Fig6Experiment(_fig6_config(preset, seed)),
+    "fig8": lambda preset, seed: Fig8Experiment(_fig8_config(preset, seed)),
 }
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed separately for testing and docs)."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Regenerate a figure of Fu et al., ICPP 2003 (link-padding countermeasures).",
-    )
-    parser.add_argument("--version", action="version", version=f"repro {__version__}")
-    parser.add_argument(
-        "figure",
-        choices=sorted(_FIGURES),
-        help="which evaluation figure to regenerate",
-    )
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--preset",
         choices=PRESETS,
@@ -127,6 +158,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the report to this file",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent sweep cells (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persist cell results under this directory; repeated runs with the "
+        "same grid skip the simulation entirely",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed separately for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures of Fu et al., ICPP 2003 (link-padding countermeasures).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subcommands = parser.add_subparsers(
+        dest="figure",
+        metavar="figure",
+        required=True,
+        help="which evaluation figure to regenerate, or 'sweep' for several at once",
+    )
+    for name in sorted(_FIGURES):
+        figure_parser = subcommands.add_parser(
+            name, help=f"regenerate {name} of the paper"
+        )
+        _add_common_options(figure_parser)
+    sweep = subcommands.add_parser(
+        "sweep",
+        help="run several figure grids through the parallel sweep runner",
+    )
+    _add_common_options(sweep)
+    sweep.add_argument(
+        "--figures",
+        nargs="+",
+        choices=sorted(_FIGURES),
+        default=sorted(_FIGURES),
+        metavar="FIG",
+        help="figures to include in the sweep (default: all)",
+    )
     return parser
 
 
@@ -134,8 +211,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the CLI; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    result = _FIGURES[args.figure](args.preset, args.seed)
-    report = result.to_text()
+    try:
+        store = ResultsStore(args.cache_dir) if args.cache_dir is not None else None
+        runner = SweepRunner(jobs=args.jobs, store=store)
+
+        if args.figure == "sweep":
+            # One combined runner call: every selected figure's cells share
+            # the worker pool, so e.g. fig4's single cell runs alongside
+            # fig8's 24-hour grid instead of serialising per figure.
+            experiments = [
+                _FIGURES[name](args.preset, args.seed) for name in args.figures
+            ]
+            all_cells = [cell for experiment in experiments for cell in experiment.cells()]
+            combined = runner.run(all_cells)
+            reports = [experiment.assemble(combined).to_text() for experiment in experiments]
+            report = "\n\n".join(reports) + "\n\n" + runner.summary()
+        else:
+            result = _FIGURES[args.figure](args.preset, args.seed).run(runner=runner)
+            report = result.to_text()
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
     print(report)
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)

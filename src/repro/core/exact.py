@@ -48,7 +48,9 @@ def detection_rate_mean_exact(r: float) -> float:
     p_low = 2.0 * sps.norm.cdf(c) - 1.0
     # P(correct | high) = P(|X_h| > c),  X_h ~ N(0, r)
     p_high = 2.0 * sps.norm.sf(c / math.sqrt(r))
-    return 0.5 * p_low + 0.5 * p_high
+    # The Bayes rate is >= 0.5 exactly; clamp the ~1e-15 cancellation error
+    # the two CDF evaluations can leave just below it for r -> 1.
+    return min(max(0.5 * p_low + 0.5 * p_high, 0.5), 1.0)
 
 
 def detection_rate_variance_exact(r: float, sample_size: float) -> float:
@@ -68,7 +70,9 @@ def detection_rate_variance_exact(r: float, sample_size: float) -> float:
     threshold = r * math.log(r) / (r - 1.0)
     p_low = sps.chi2.cdf(dof * threshold, df=dof)           # Y_l <= y*
     p_high = sps.chi2.sf(dof * threshold / r, df=dof)       # Y_h  > y*
-    return 0.5 * float(p_low) + 0.5 * float(p_high)
+    # The Bayes rate is >= 0.5 exactly; clamp the ~1e-15 cancellation error
+    # the two CDF evaluations can leave just below it for r -> 1.
+    return min(max(0.5 * float(p_low) + 0.5 * float(p_high), 0.5), 1.0)
 
 
 def detection_rate_entropy_exact(r: float, sample_size: float) -> float:

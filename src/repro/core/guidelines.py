@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
-from repro.core.sample_size import sample_size_for_detection, sigma_t_for_sample_size
+from repro.core.sample_size import sample_size_for_detection
 from repro.core.theorems import (
     detection_rate_entropy,
     detection_rate_mean,
@@ -34,7 +34,7 @@ from repro.core.theorems import (
 from repro.core.variance_ratio import variance_ratio
 from repro.exceptions import AnalysisError
 from repro.padding.disturbance import InterruptDisturbance
-from repro.padding.policies import PaddingPolicy, cit_policy, vit_policy
+from repro.padding.policies import PaddingPolicy, vit_policy
 from repro.units import PAPER_HIGH_RATE_PPS, PAPER_LOW_RATE_PPS, PAPER_TIMER_INTERVAL_S
 
 

@@ -41,6 +41,10 @@ class AnalysisError(ReproError):
     """A statistical or analytical computation cannot be carried out."""
 
 
+class SweepError(ReproError):
+    """A sweep cell failed while running under the parallel sweep runner."""
+
+
 class TrainingError(AnalysisError):
     """The adversary classifier cannot be trained from the supplied data."""
 
@@ -58,6 +62,7 @@ __all__ = [
     "PaddingError",
     "NetworkError",
     "AnalysisError",
+    "SweepError",
     "TrainingError",
     "NotFittedError",
 ]

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict
 
 import numpy as np
 
@@ -108,19 +108,29 @@ class ScenarioConfig:
 
     def __post_init__(self) -> None:
         if self.high_rate_pps <= self.low_rate_pps:
-            raise ConfigurationError("high_rate_pps must exceed low_rate_pps")
+            raise ConfigurationError(
+                f"high_rate_pps={self.high_rate_pps!r} must exceed "
+                f"low_rate_pps={self.low_rate_pps!r}"
+            )
         if self.high_rate_pps > self.policy.padded_rate_pps:
             raise ConfigurationError(
-                "the padded rate (1/mean_interval) must cover the highest payload rate"
+                f"high_rate_pps={self.high_rate_pps!r} exceeds the padded rate "
+                f"{self.policy.padded_rate_pps!r} pps of policy {self.policy.name!r} "
+                f"(1/mean_interval must cover the highest payload rate)"
             )
         if self.n_hops < 0:
-            raise ConfigurationError("n_hops must be >= 0")
+            raise ConfigurationError(f"n_hops={self.n_hops!r} must be >= 0")
         if not 0.0 <= self.cross_utilization < 1.0:
-            raise ConfigurationError("cross_utilization must lie in [0, 1)")
+            raise ConfigurationError(
+                f"cross_utilization={self.cross_utilization!r} must lie in [0, 1)"
+            )
         if self.cross_utilization > 0.0 and self.n_hops == 0:
-            raise ConfigurationError("cross traffic requires at least one hop")
+            raise ConfigurationError(
+                f"cross_utilization={self.cross_utilization!r} > 0 requires at least "
+                f"one router hop to carry the cross traffic, got n_hops={self.n_hops!r}"
+            )
         if self.warmup_time < 0.0:
-            raise ConfigurationError("warmup_time must be >= 0")
+            raise ConfigurationError(f"warmup_time={self.warmup_time!r} must be >= 0")
 
     # ------------------------------------------------------------- utilities
     @property
@@ -304,8 +314,16 @@ def collect_labelled_intervals(
         captures of one experiment are independent ("train" / "test").
     """
     if n_intervals_per_class < 2:
-        raise ConfigurationError("n_intervals_per_class must be >= 2")
-    mode = CollectionMode(mode)
+        raise ConfigurationError(
+            f"n_intervals_per_class={n_intervals_per_class!r} must be >= 2"
+        )
+    try:
+        mode = CollectionMode(mode)
+    except ValueError:
+        valid = ", ".join(repr(m.value) for m in CollectionMode)
+        raise ConfigurationError(
+            f"mode={mode!r} is not a collection mode; choose one of {valid}"
+        ) from None
     streams = RandomStreams(seed=seed)
     intervals: Dict[str, np.ndarray] = {}
     if mode is CollectionMode.ANALYTIC:

@@ -16,12 +16,8 @@ the best case for the attacker and hence the worst case for the defender.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-import numpy as np
-
-from repro.adversary.detection import evaluate_attack
-from repro.adversary.features import default_features
 from repro.core.exact import detection_rate_mean_exact, detection_rate_variance_exact
 from repro.core.theorems import (
     detection_rate_entropy,
@@ -29,14 +25,11 @@ from repro.core.theorems import (
     detection_rate_variance,
 )
 from repro.exceptions import ConfigurationError
-from repro.experiments.base import (
-    CollectionMode,
-    PaddedStreamCapture,
-    ScenarioConfig,
-    collect_labelled_intervals,
-)
+from repro.experiments.base import CollectionMode, ScenarioConfig
 from repro.experiments.report import format_table, render_experiment_report
-from repro.stats.normality import normality_report
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.runner import SweepCell, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -144,48 +137,48 @@ class Fig4Experiment:
     def __init__(self, config: Optional[Fig4Config] = None) -> None:
         self.config = config if config is not None else Fig4Config()
 
-    def _collect(self, offset: str) -> PaddedStreamCapture:
-        return collect_labelled_intervals(
-            self.config.scenario,
-            self.config.intervals_per_class,
-            mode=self.config.mode,
-            seed=self.config.seed,
-            seed_offset=offset,
-        )
+    def cells(self) -> "List[SweepCell]":
+        """The experiment's grid as sweep-runner cells.
 
-    def run(self) -> Fig4Result:
-        """Collect captures, run the attack at every sample size, compare with theory."""
+        Figure 4 sweeps the adversary's sample size over one fixed capture,
+        so the whole experiment is a single cell; it parallelises against the
+        cells of *other* experiments when the CLI's ``sweep`` subcommand runs
+        every selected figure's cells through one combined ``runner.run()``.
+        """
+        from repro.runner import SweepCell
+
         config = self.config
-        train = self._collect("train")
-        test = self._collect("test")
+        return [
+            SweepCell(
+                key="fig4",
+                scenario=config.scenario,
+                sample_sizes=tuple(config.sample_sizes),
+                trials=config.trials,
+                mode=config.mode,
+                seed=config.seed,
+                entropy_bin_width=config.entropy_bin_width,
+                collect_piat_stats=True,
+            )
+        ]
 
-        piat_stats: Dict[str, Dict[str, float]] = {}
-        for label, intervals in test.intervals.items():
-            report = normality_report(intervals)
-            piat_stats[label] = {
-                "mean": report.mean,
-                "std": report.std,
-                "qq_rms_deviation": report.qq_rms_deviation,
-                "looks_normal": report.looks_normal,
-            }
+    def run(self, runner: "Optional[SweepRunner]" = None) -> Fig4Result:
+        """Collect captures, run the attack at every sample size, compare with theory."""
+        from repro.runner import SweepRunner
+
+        runner = runner if runner is not None else SweepRunner()
+        return self.assemble(runner.run(self.cells()))
+
+    def assemble(self, report) -> Fig4Result:
+        """Build the figure result from a sweep report containing this grid's cells."""
+        config = self.config
+        cell = report["fig4"]
 
         r_model = config.scenario.variance_ratio()
-        r_measured = test.measured_variance_ratio()
-
-        features = default_features(entropy_bin_width=config.entropy_bin_width)
-        empirical: Dict[str, Dict[int, float]] = {name: {} for name in features}
-        theoretical: Dict[str, Dict[int, float]] = {name: {} for name in features}
-        exact: Dict[str, Dict[int, float]] = {name: {} for name in features}
-        for name, feature in features.items():
+        empirical = cell.empirical_detection_rate
+        theoretical: Dict[str, Dict[int, float]] = {name: {} for name in empirical}
+        exact: Dict[str, Dict[int, float]] = {name: {} for name in empirical}
+        for name in empirical:
             for n in config.sample_sizes:
-                result = evaluate_attack(
-                    train.intervals,
-                    test.intervals,
-                    feature,
-                    sample_size=n,
-                    max_samples_per_class=config.trials,
-                )
-                empirical[name][n] = result.detection_rate
                 if name == "mean":
                     theoretical[name][n] = detection_rate_mean(r_model)
                     exact[name][n] = detection_rate_mean_exact(r_model)
@@ -198,8 +191,8 @@ class Fig4Experiment:
         return Fig4Result(
             config=config,
             r_model=r_model,
-            r_measured=r_measured,
-            piat_stats=piat_stats,
+            r_measured=cell.measured_variance_ratio,
+            piat_stats=cell.piat_stats,
             empirical_detection_rate=empirical,
             theoretical_detection_rate=theoretical,
             exact_detection_rate=exact,

@@ -13,10 +13,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.adversary.detection import evaluate_attack
-from repro.adversary.features import default_features
 from repro.core.sample_size import sample_size_vs_sigma_t
 from repro.core.theorems import (
     detection_rate_entropy,
@@ -24,9 +22,12 @@ from repro.core.theorems import (
     detection_rate_variance,
 )
 from repro.exceptions import ConfigurationError
-from repro.experiments.base import CollectionMode, ScenarioConfig, collect_labelled_intervals
+from repro.experiments.base import CollectionMode, ScenarioConfig
 from repro.experiments.report import format_table, render_experiment_report
 from repro.padding.policies import cit_policy, vit_policy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.runner import SweepCell, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -136,46 +137,63 @@ class Fig5Experiment:
     def __init__(self, config: Optional[Fig5Config] = None) -> None:
         self.config = config if config is not None else Fig5Config()
 
-    def run(self) -> Fig5Result:
-        config = self.config
-        features = {
-            name: feature
-            for name, feature in default_features(config.entropy_bin_width).items()
-            if name in config.features
-        }
-        empirical: Dict[str, Dict[float, float]] = {name: {} for name in features}
-        theoretical: Dict[str, Dict[float, float]] = {name: {} for name in features}
-        ratios: Dict[float, float] = {}
+    @staticmethod
+    def cell_key(sigma_t: float) -> str:
+        """The sweep-cell key of one ``sigma_T`` grid point."""
+        return f"fig5/sigma_t={sigma_t!r}"
 
-        intervals_per_class = config.sample_size * config.trials
+    def cells(self) -> "List[SweepCell]":
+        """One sweep-runner cell per ``sigma_T`` grid point."""
+        from repro.runner import SweepCell
+
+        config = self.config
+        return [
+            SweepCell(
+                key=self.cell_key(sigma_t),
+                scenario=config.scenario_for(sigma_t),
+                sample_sizes=(config.sample_size,),
+                trials=config.trials,
+                mode=config.mode,
+                seed=config.seed,
+                features=tuple(config.features),
+                entropy_bin_width=config.entropy_bin_width,
+            )
+            for sigma_t in config.sigma_t_values
+        ]
+
+    def run(self, runner: "Optional[SweepRunner]" = None) -> Fig5Result:
+        from repro.runner import SweepRunner
+
+        runner = runner if runner is not None else SweepRunner()
+        return self.assemble(runner.run(self.cells()))
+
+    def assemble(self, report) -> Fig5Result:
+        """Build the figure result from a sweep report containing this grid's cells."""
+        config = self.config
+        empirical: Dict[str, Dict[float, float]] = {name: {} for name in config.features}
+        theoretical: Dict[str, Dict[float, float]] = {name: {} for name in config.features}
+        ratios: Dict[float, float] = {}
         for sigma_t in config.sigma_t_values:
-            scenario = config.scenario_for(sigma_t)
-            ratios[sigma_t] = scenario.variance_ratio()
-            train = collect_labelled_intervals(
-                scenario, intervals_per_class, mode=config.mode, seed=config.seed, seed_offset="train"
-            )
-            test = collect_labelled_intervals(
-                scenario, intervals_per_class, mode=config.mode, seed=config.seed, seed_offset="test"
-            )
-            for name, feature in features.items():
-                result = evaluate_attack(
-                    train.intervals,
-                    test.intervals,
-                    feature,
-                    sample_size=config.sample_size,
-                    max_samples_per_class=config.trials,
-                )
-                empirical[name][sigma_t] = result.detection_rate
+            cell = report[self.cell_key(sigma_t)]
+            ratios[sigma_t] = config.scenario_for(sigma_t).variance_ratio()
+            for name in config.features:
+                empirical[name][sigma_t] = cell.empirical_detection_rate[name][
+                    config.sample_size
+                ]
                 if name == "mean":
                     theoretical[name][sigma_t] = detection_rate_mean(ratios[sigma_t])
                 elif name == "variance":
                     theoretical[name][sigma_t] = detection_rate_variance(
                         ratios[sigma_t], config.sample_size
                     )
-                else:
+                elif name == "entropy":
                     theoretical[name][sigma_t] = detection_rate_entropy(
                         ratios[sigma_t], config.sample_size
                     )
+                else:
+                    # Extension features (mad, iqr) have no closed-form
+                    # prediction in the paper; report NaN, not a wrong theorem.
+                    theoretical[name][sigma_t] = float("nan")
 
         required: Dict[str, Dict[float, float]] = {}
         for feature_name in ("variance", "entropy"):

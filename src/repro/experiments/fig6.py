@@ -11,20 +11,21 @@ than sample variance (outlier sensitivity); the sample mean stays near 50 %.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.adversary.detection import evaluate_attack
-from repro.adversary.features import default_features
 from repro.core.theorems import (
     detection_rate_entropy,
     detection_rate_mean,
     detection_rate_variance,
 )
 from repro.exceptions import ConfigurationError
-from repro.experiments.base import CollectionMode, ScenarioConfig, collect_labelled_intervals
+from repro.experiments.base import CollectionMode, ScenarioConfig
 from repro.experiments.report import format_table, render_experiment_report
 from repro.padding.policies import cit_policy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.runner import SweepCell, SweepRunner
 
 
 def _lab_scenario() -> ScenarioConfig:
@@ -107,37 +108,56 @@ class Fig6Experiment:
     def __init__(self, config: Optional[Fig6Config] = None) -> None:
         self.config = config if config is not None else Fig6Config()
 
-    def run(self) -> Fig6Result:
+    @staticmethod
+    def cell_key(utilization: float) -> str:
+        """The sweep-cell key of one utilization grid point."""
+        return f"fig6/utilization={utilization!r}"
+
+    def cells(self) -> "List[SweepCell]":
+        """One sweep-runner cell per shared-link utilization."""
+        from repro.runner import SweepCell
+
         config = self.config
-        features = default_features(config.entropy_bin_width)
-        empirical: Dict[str, Dict[float, float]] = {name: {} for name in features}
-        theoretical: Dict[str, Dict[float, float]] = {name: {} for name in features}
+        return [
+            SweepCell(
+                key=self.cell_key(utilization),
+                scenario=config.scenario.with_cross_utilization(utilization),
+                sample_sizes=(config.sample_size,),
+                trials=config.trials,
+                mode=config.mode,
+                seed=config.seed,
+                entropy_bin_width=config.entropy_bin_width,
+            )
+            for utilization in config.utilizations
+        ]
+
+    def run(self, runner: "Optional[SweepRunner]" = None) -> Fig6Result:
+        from repro.runner import SweepRunner
+
+        runner = runner if runner is not None else SweepRunner()
+        return self.assemble(runner.run(self.cells()))
+
+    def assemble(self, report) -> Fig6Result:
+        """Build the figure result from a sweep report containing this grid's cells."""
+        from repro.runner import DEFAULT_FEATURES
+
+        config = self.config
+        empirical: Dict[str, Dict[float, float]] = {name: {} for name in DEFAULT_FEATURES}
+        theoretical: Dict[str, Dict[float, float]] = {name: {} for name in DEFAULT_FEATURES}
         ratios: Dict[float, float] = {}
         measured_utils: Dict[float, float] = {}
-
-        intervals_per_class = config.sample_size * config.trials
         for utilization in config.utilizations:
+            cell = report[self.cell_key(utilization)]
             scenario = config.scenario.with_cross_utilization(utilization)
             ratios[utilization] = scenario.variance_ratio()
-            train = collect_labelled_intervals(
-                scenario, intervals_per_class, mode=config.mode, seed=config.seed, seed_offset="train"
-            )
-            test = collect_labelled_intervals(
-                scenario, intervals_per_class, mode=config.mode, seed=config.seed, seed_offset="test"
-            )
             # The padded stream's rate never changes, so the realised padded +
             # cross load equals the target by construction; record it for the
             # report anyway (useful when a caller overrides the link rate).
             measured_utils[utilization] = utilization
-            for name, feature in features.items():
-                result = evaluate_attack(
-                    train.intervals,
-                    test.intervals,
-                    feature,
-                    sample_size=config.sample_size,
-                    max_samples_per_class=config.trials,
-                )
-                empirical[name][utilization] = result.detection_rate
+            for name in empirical:
+                empirical[name][utilization] = cell.empirical_detection_rate[name][
+                    config.sample_size
+                ]
                 if name == "mean":
                     theoretical[name][utilization] = detection_rate_mean(ratios[utilization])
                 elif name == "variance":

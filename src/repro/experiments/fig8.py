@@ -7,42 +7,39 @@ Cross traffic follows a diurnal profile, so the detection rate is highest in
 the small hours of the night and dips during the busy afternoon — and the
 WAN, with many more congested hops, sits well below the campus curve.
 
-The paper collected one full day per environment on real networks.  Here the
-gateway is simulated event-by-event once per payload rate (its behaviour does
-not depend on the hour), and the per-hour network disturbance is applied
+The paper collected one full day per environment on real networks.  Here each
+(network, hour) grid point is an independent sweep cell: the gateway is
+simulated event-by-event and the per-hour network disturbance is applied
 analytically from the M/D/1 model — the ``hybrid`` collection mode.  Full
 event simulation of 15 routers for 24 hours is possible with the same code
 path (``CollectionMode.SIMULATION``) but takes hours of CPU; the hybrid mode
 preserves the quantity the analysis actually depends on (``sigma_net^2`` per
 hour) and is the documented substitution for the missing physical testbed.
+Because the cells are independent, the 24-hour grid fans out across the
+sweep runner's worker pool and individual hours are cached by content hash.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.adversary.detection import evaluate_attack
-from repro.adversary.features import default_features
 from repro.core.theorems import (
     detection_rate_entropy,
     detection_rate_mean,
     detection_rate_variance,
 )
 from repro.exceptions import ConfigurationError
-from repro.experiments.base import (
-    CollectionMode,
-    ScenarioConfig,
-    apply_analytic_network_noise,
-    collect_labelled_intervals,
-)
+from repro.experiments.base import CollectionMode, ScenarioConfig
 from repro.experiments.report import format_table, render_experiment_report
 from repro.network.topology import TopologySpec, campus_topology, wan_topology
 from repro.padding.policies import cit_policy
-from repro.sim.random import RandomStreams
 from repro.traffic.schedule import DiurnalProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.runner import SweepCell, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -166,78 +163,69 @@ class Fig8Experiment:
     def __init__(self, config: Optional[Fig8Config] = None) -> None:
         self.config = config if config is not None else Fig8Config()
 
-    def run(self) -> Fig8Result:
+    @staticmethod
+    def cell_key(network: str, hour: int) -> str:
+        """The sweep-cell key of one (network, hour) grid point."""
+        return f"fig8/{network}/hour={hour:02d}"
+
+    def cells(self) -> "List[SweepCell]":
+        """One self-contained sweep-runner cell per (network, hour).
+
+        Each cell collects its own captures — including, in hybrid mode, its
+        own gateway simulation — so cells carry no shared state and can run
+        on any worker.  Distinct ``seed_offsets`` per (network, hour) keep
+        every cell's traffic statistically independent while remaining
+        reproducible from the one master seed.
+        """
+        from repro.runner import SweepCell
+
         config = self.config
-        features = default_features(config.entropy_bin_width)
-        intervals_per_class = config.sample_size * config.trials
+        return [
+            SweepCell(
+                key=self.cell_key(network, hour),
+                scenario=config.scenario_at(network, hour),
+                sample_sizes=(config.sample_size,),
+                trials=config.trials,
+                mode=config.mode,
+                seed=config.seed,
+                entropy_bin_width=config.entropy_bin_width,
+                seed_offsets=(f"train-{network}-{hour}", f"test-{network}-{hour}"),
+            )
+            for network in config.networks
+            for hour in config.hours
+        ]
 
-        # The gateway's behaviour is independent of the hour and of the
-        # downstream network, so one pair of gateway-level captures (train and
-        # test) per payload rate is collected once and re-noised per hour.
-        gateway_scenario = replace(config.base_scenario, n_hops=0, cross_utilization=0.0)
-        gateway_mode = (
-            CollectionMode.ANALYTIC
-            if config.mode is CollectionMode.ANALYTIC
-            else CollectionMode.SIMULATION
-        )
-        gateway_train = collect_labelled_intervals(
-            gateway_scenario, intervals_per_class, mode=gateway_mode, seed=config.seed, seed_offset="train"
-        )
-        gateway_test = collect_labelled_intervals(
-            gateway_scenario, intervals_per_class, mode=gateway_mode, seed=config.seed, seed_offset="test"
-        )
-        noise_streams = RandomStreams(seed=config.seed + 1)
+    def run(self, runner: "Optional[SweepRunner]" = None) -> Fig8Result:
+        from repro.runner import SweepRunner
 
+        runner = runner if runner is not None else SweepRunner()
+        return self.assemble(runner.run(self.cells()))
+
+    def assemble(self, report) -> Fig8Result:
+        """Build the figure result from a sweep report containing this grid's cells."""
+        from repro.runner import DEFAULT_FEATURES
+
+        config = self.config
         empirical: Dict[str, Dict[str, Dict[int, float]]] = {}
         theoretical: Dict[str, Dict[str, Dict[int, float]]] = {}
         ratios: Dict[str, Dict[int, float]] = {}
         utilizations: Dict[str, Dict[int, float]] = {}
 
         for network in config.networks:
-            empirical[network] = {name: {} for name in features}
-            theoretical[network] = {name: {} for name in features}
+            empirical[network] = {name: {} for name in DEFAULT_FEATURES}
+            theoretical[network] = {name: {} for name in DEFAULT_FEATURES}
             ratios[network] = {}
             utilizations[network] = {}
             for hour in config.hours:
+                cell = report[self.cell_key(network, hour)]
                 scenario = config.scenario_at(network, hour)
                 utilizations[network][hour] = scenario.cross_utilization
                 ratios[network][hour] = scenario.variance_ratio()
-                if config.mode is CollectionMode.SIMULATION:
-                    train_intervals = collect_labelled_intervals(
-                        scenario, intervals_per_class, mode=config.mode,
-                        seed=config.seed, seed_offset=f"train-{network}-{hour}",
-                    ).intervals
-                    test_intervals = collect_labelled_intervals(
-                        scenario, intervals_per_class, mode=config.mode,
-                        seed=config.seed, seed_offset=f"test-{network}-{hour}",
-                    ).intervals
-                else:
-                    train_intervals = {
-                        label: apply_analytic_network_noise(
-                            values,
-                            scenario,
-                            noise_streams.get(f"train-{network}-{hour}-{label}"),
-                        )
-                        for label, values in gateway_train.intervals.items()
-                    }
-                    test_intervals = {
-                        label: apply_analytic_network_noise(
-                            values,
-                            scenario,
-                            noise_streams.get(f"test-{network}-{hour}-{label}"),
-                        )
-                        for label, values in gateway_test.intervals.items()
-                    }
-                for name, feature in features.items():
-                    result = evaluate_attack(
-                        train_intervals,
-                        test_intervals,
-                        feature,
-                        sample_size=config.sample_size,
-                        max_samples_per_class=config.trials,
-                    )
-                    empirical[network][name][hour] = result.detection_rate
-                    r = ratios[network][hour]
+                r = ratios[network][hour]
+                for name in DEFAULT_FEATURES:
+                    empirical[network][name][hour] = cell.empirical_detection_rate[name][
+                        config.sample_size
+                    ]
                     if name == "mean":
                         theoretical[network][name][hour] = detection_rate_mean(r)
                     elif name == "variance":

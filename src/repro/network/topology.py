@@ -19,8 +19,8 @@ returns a :mod:`networkx` view for inspection and documentation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 import networkx as nx
 import numpy as np

@@ -9,7 +9,7 @@ than raw interval generators so that reports can show meaningful labels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.exceptions import PaddingError

@@ -1,0 +1,33 @@
+"""Parallel sweep execution with persistent, content-addressed results.
+
+The runner turns a figure's scenario grid into independent
+:class:`~repro.runner.cells.SweepCell` units, executes them in-process or
+across a :mod:`multiprocessing` pool (:class:`~repro.runner.runner.SweepRunner`),
+and memoises every computed result in a JSON-lines
+:class:`~repro.runner.store.ResultsStore` keyed by a content hash of the cell
+configuration.  See ``docs/running.md`` for the CLI, the cache layout and how
+CI exercises warm-cache sweeps.
+"""
+
+from repro.exceptions import SweepError
+from repro.runner.cells import (
+    DEFAULT_FEATURES,
+    SCHEMA_VERSION,
+    CellResult,
+    SweepCell,
+    run_cell,
+)
+from repro.runner.runner import SweepReport, SweepRunner
+from repro.runner.store import ResultsStore
+
+__all__ = [
+    "DEFAULT_FEATURES",
+    "SCHEMA_VERSION",
+    "CellResult",
+    "ResultsStore",
+    "SweepCell",
+    "SweepError",
+    "SweepReport",
+    "SweepRunner",
+    "run_cell",
+]

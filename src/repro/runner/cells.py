@@ -1,0 +1,273 @@
+"""Sweep cells: the schedulable unit of the parallel sweep runner.
+
+A :class:`SweepCell` is one independent point of a figure's scenario grid —
+one padded-link scenario evaluated at one master seed.  Executing a cell
+(:func:`run_cell`) collects a training and a test capture, mounts the attack
+with every requested feature statistic at every requested sample size, and
+returns the *empirical* quantities as a :class:`CellResult`.  Everything that
+has a closed form (Theorems 1-3, the exact Bayes rates, the variance-ratio
+model) is recomputed cheaply by the experiment in the parent process, so a
+cell result stays small enough to persist as one JSON line.
+
+Cells are content-addressed: :meth:`SweepCell.fingerprint` hashes every field
+that influences the numeric result (the scenario, sample sizes, trials, mode,
+seed, features, ...) but *not* the display ``key``, so relabelling a grid
+point does not invalidate its cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.adversary.detection import evaluate_attack
+from repro.adversary.features import get_feature
+from repro.exceptions import AnalysisError, ConfigurationError
+from repro.experiments.base import (
+    CollectionMode,
+    ScenarioConfig,
+    collect_labelled_intervals,
+)
+from repro.stats.normality import normality_report
+
+#: Bumped whenever the cell execution or result layout changes in a way that
+#: invalidates previously stored results.
+SCHEMA_VERSION = 1
+
+#: The paper's three feature statistics, in report order.
+DEFAULT_FEATURES: Tuple[str, ...] = ("mean", "variance", "entropy")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (scenario, seed) grid point, ready to be scheduled.
+
+    Attributes
+    ----------
+    key:
+        Display label, e.g. ``"fig6/utilization=0.2"``.  Unique within one
+        sweep; deliberately excluded from the cache fingerprint.
+    scenario:
+        The padded-link scenario to capture and attack.
+    sample_sizes:
+        Adversary sample sizes to evaluate (each >= 2).
+    trials:
+        Training and test samples per class per sample size.
+    mode:
+        Capture collection mode.
+    seed:
+        Master random seed for the cell's captures.
+    features:
+        Feature-statistic names to evaluate (see
+        :func:`repro.adversary.features.get_feature`).
+    entropy_bin_width:
+        Histogram bin width forwarded to the sample-entropy feature.
+    seed_offsets:
+        Stream-name tags for the training and test captures; they must
+        differ or the adversary would train on its own test data.
+    collect_piat_stats:
+        Also compute per-class normality statistics of the test capture
+        (used by Figure 4(a)).
+    """
+
+    key: str
+    scenario: ScenarioConfig
+    sample_sizes: Tuple[int, ...]
+    trials: int
+    mode: CollectionMode = CollectionMode.SIMULATION
+    seed: int = 2003
+    features: Tuple[str, ...] = DEFAULT_FEATURES
+    entropy_bin_width: Optional[float] = None
+    seed_offsets: Tuple[str, str] = ("train", "test")
+    collect_piat_stats: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.key, str) or not self.key:
+            raise ConfigurationError(f"key={self.key!r} must be a non-empty string")
+        object.__setattr__(self, "sample_sizes", tuple(int(n) for n in self.sample_sizes))
+        object.__setattr__(self, "features", tuple(str(f) for f in self.features))
+        object.__setattr__(self, "seed_offsets", tuple(str(o) for o in self.seed_offsets))
+        try:
+            object.__setattr__(self, "mode", CollectionMode(self.mode))
+        except ValueError:
+            valid = ", ".join(repr(m.value) for m in CollectionMode)
+            raise ConfigurationError(
+                f"mode={self.mode!r} is not a collection mode; choose one of {valid}"
+            ) from None
+        if not self.sample_sizes:
+            raise ConfigurationError(f"sample_sizes={self.sample_sizes!r} must be non-empty")
+        if any(n < 2 for n in self.sample_sizes):
+            raise ConfigurationError(
+                f"sample_sizes={self.sample_sizes!r} must contain only sizes >= 2"
+            )
+        if self.trials < 2:
+            raise ConfigurationError(f"trials={self.trials!r} must be >= 2")
+        if not self.features:
+            raise ConfigurationError(f"features={self.features!r} must be non-empty")
+        if len(self.seed_offsets) != 2 or self.seed_offsets[0] == self.seed_offsets[1]:
+            raise ConfigurationError(
+                f"seed_offsets={self.seed_offsets!r} must be two distinct tags"
+            )
+
+    @property
+    def intervals_per_class(self) -> int:
+        """Capture length needed for ``trials`` samples of the largest size."""
+        return max(self.sample_sizes) * self.trials
+
+    def config_dict(self) -> Dict[str, Any]:
+        """The result-affecting configuration as plain JSON-able data."""
+        scenario = asdict(self.scenario)
+        # The policy's name is a display label (report text only); keep it out
+        # of the fingerprint so renaming a policy does not cold the cache.
+        scenario["policy"].pop("name", None)
+        return {
+            "schema": SCHEMA_VERSION,
+            "scenario": scenario,
+            "sample_sizes": list(self.sample_sizes),
+            "trials": self.trials,
+            "mode": self.mode.value,
+            "seed": self.seed,
+            "features": list(self.features),
+            "entropy_bin_width": self.entropy_bin_width,
+            "seed_offsets": list(self.seed_offsets),
+            "collect_piat_stats": self.collect_piat_stats,
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash of :meth:`config_dict`; the cell's cache key."""
+        canonical = json.dumps(self.config_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CellResult:
+    """The empirical measurements produced by one executed cell.
+
+    ``elapsed_seconds`` is wall-clock bookkeeping only; it is excluded from
+    report text so that cached and freshly computed sweeps render byte-for-
+    byte identically.
+    """
+
+    key: str
+    fingerprint: str
+    empirical_detection_rate: Dict[str, Dict[int, float]]
+    measured_variance_ratio: float
+    measured_means: Dict[str, float] = field(default_factory=dict)
+    piat_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    from_cache: bool = False
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-able payload for the results store (sample sizes become strings)."""
+        return {
+            "empirical_detection_rate": {
+                feature: {str(n): rate for n, rate in by_n.items()}
+                for feature, by_n in self.empirical_detection_rate.items()
+            },
+            "measured_variance_ratio": self.measured_variance_ratio,
+            "measured_means": dict(self.measured_means),
+            "piat_stats": {label: dict(stats) for label, stats in self.piat_stats.items()},
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_json_dict(
+        cls,
+        key: str,
+        fingerprint: str,
+        payload: Dict[str, Any],
+        from_cache: bool = True,
+    ) -> "CellResult":
+        """Rebuild a result from a store record (inverse of :meth:`to_json_dict`)."""
+        return cls(
+            key=key,
+            fingerprint=fingerprint,
+            empirical_detection_rate={
+                feature: {int(n): float(rate) for n, rate in by_n.items()}
+                for feature, by_n in payload["empirical_detection_rate"].items()
+            },
+            measured_variance_ratio=float(payload["measured_variance_ratio"]),
+            measured_means={k: float(v) for k, v in payload.get("measured_means", {}).items()},
+            piat_stats={
+                label: dict(stats) for label, stats in payload.get("piat_stats", {}).items()
+            },
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            from_cache=from_cache,
+        )
+
+
+def run_cell(cell: SweepCell) -> CellResult:
+    """Execute one cell: capture, attack, summarise.
+
+    Pure function of the cell's fields — the same cell always produces the
+    same :class:`CellResult` (up to ``elapsed_seconds``), which is what makes
+    both the process-pool fan-out and the on-disk cache sound.
+    """
+    start = time.perf_counter()
+    try:
+        features = {
+            name: get_feature(name, cell.entropy_bin_width) for name in cell.features
+        }
+    except AnalysisError as exc:
+        raise ConfigurationError(f"cell {cell.key!r}: {exc}") from exc
+
+    train_offset, test_offset = cell.seed_offsets
+    train = collect_labelled_intervals(
+        cell.scenario,
+        cell.intervals_per_class,
+        mode=cell.mode,
+        seed=cell.seed,
+        seed_offset=train_offset,
+    )
+    test = collect_labelled_intervals(
+        cell.scenario,
+        cell.intervals_per_class,
+        mode=cell.mode,
+        seed=cell.seed,
+        seed_offset=test_offset,
+    )
+
+    empirical: Dict[str, Dict[int, float]] = {name: {} for name in features}
+    for name, feature in features.items():
+        for n in cell.sample_sizes:
+            result = evaluate_attack(
+                train.intervals,
+                test.intervals,
+                feature,
+                sample_size=n,
+                max_samples_per_class=cell.trials,
+            )
+            empirical[name][n] = float(result.detection_rate)
+
+    piat_stats: Dict[str, Dict[str, float]] = {}
+    if cell.collect_piat_stats:
+        for label, intervals in test.intervals.items():
+            report = normality_report(intervals)
+            piat_stats[label] = {
+                "mean": float(report.mean),
+                "std": float(report.std),
+                "qq_rms_deviation": float(report.qq_rms_deviation),
+                "looks_normal": bool(report.looks_normal),
+            }
+
+    return CellResult(
+        key=cell.key,
+        fingerprint=cell.fingerprint(),
+        empirical_detection_rate=empirical,
+        measured_variance_ratio=float(test.measured_variance_ratio()),
+        measured_means={k: float(v) for k, v in test.measured_means().items()},
+        piat_stats=piat_stats,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+__all__ = [
+    "DEFAULT_FEATURES",
+    "SCHEMA_VERSION",
+    "SweepCell",
+    "CellResult",
+    "run_cell",
+]

@@ -1,0 +1,242 @@
+"""The parallel sweep runner.
+
+:class:`SweepRunner` executes a grid of :class:`~repro.runner.cells.SweepCell`
+objects, fanning cache misses out over a :mod:`multiprocessing` worker pool
+and streaming every computed result into an optional
+:class:`~repro.runner.store.ResultsStore` so that repeated sweeps skip the
+simulation entirely.
+
+Guarantees:
+
+* **Determinism** — a cell is a pure function of its configuration (per-cell
+  seeding via :class:`repro.sim.random.RandomStreams`), so the same grid and
+  seeds produce bit-identical results at any ``jobs`` count, warm or cold.
+* **Loud failure** — a cell that raises aborts the sweep with a
+  :class:`~repro.exceptions.SweepError` naming the cell and carrying the
+  worker traceback; the pool is torn down rather than left to hang.
+* **Single-writer cache** — only the parent process appends to the store, so
+  workers never contend for the results file.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from repro.exceptions import ConfigurationError, SweepError
+from repro.runner.cells import CellResult, SweepCell, run_cell
+from repro.runner.store import ResultsStore
+
+
+@dataclass(frozen=True)
+class _CellFailure:
+    """Picklable failure marker returned by a worker instead of raising.
+
+    Raising inside ``Pool.imap_unordered`` would surface the exception without
+    the cell identity (and an unpicklable exception would deadlock the pool),
+    so workers catch everything and let the parent raise a ``SweepError``.
+    """
+
+    key: str
+    error: str
+    worker_traceback: str
+
+
+def _execute(cell: SweepCell) -> Union[CellResult, _CellFailure]:
+    """Pool entry point: run one cell, converting any exception to a marker."""
+    try:
+        return run_cell(cell)
+    except Exception as exc:
+        return _CellFailure(
+            key=cell.key,
+            error=f"{type(exc).__name__}: {exc}",
+            worker_traceback=traceback.format_exc(),
+        )
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one :meth:`SweepRunner.run` call.
+
+    ``hits`` counts cells served from the persistent store, ``misses`` cells
+    actually simulated, and ``deduplicated`` cells that shared a fingerprint
+    with another cell in the same sweep and rode along with its result.
+    """
+
+    results: Dict[str, CellResult] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    deduplicated: int = 0
+    elapsed_seconds: float = 0.0
+
+    def __getitem__(self, key: str) -> CellResult:
+        return self.results[key]
+
+    def summary(self) -> str:
+        """One line of cache accounting, e.g. ``"6 cells, 2 simulated, 4 cache hits"``."""
+        line = f"{len(self.results)} cells, {self.misses} simulated, {self.hits} cache hits"
+        if self.deduplicated:
+            line += f", {self.deduplicated} deduplicated"
+        return line
+
+
+class SweepRunner:
+    """Runs sweep cells, in-process or across a worker pool, with caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs every cell inline in the
+        parent process — no pool, easiest to debug, and the reference for the
+        bit-identical-at-any-jobs guarantee.
+    store:
+        Optional persistent cache.  Cells whose fingerprint is already stored
+        are returned from the cache without simulating.
+    mp_context:
+        :mod:`multiprocessing` start method.  Defaults to ``"fork"`` on Linux
+        (cheap worker startup, and no re-import of ``__main__`` — ``spawn``
+        cannot start workers from a parent run off stdin or a REPL) and
+        ``"spawn"`` everywhere else, where forking past BLAS/framework
+        initialisation is unsafe.
+    progress:
+        Optional callable invoked with one line per completed cell.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultsStore] = None,
+        mp_context: Optional[str] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs={jobs!r} must be >= 1")
+        self.jobs = jobs
+        self.store = store
+        if mp_context is None:
+            # fork is only trusted on Linux; macOS lists it as available but
+            # forking a parent with initialized BLAS/ObjC state is unsafe
+            # (CPython itself switched the macOS default to spawn in 3.8).
+            mp_context = "fork" if sys.platform == "linux" else "spawn"
+        self._mp_context = mp_context
+        self._progress = progress
+        # Accumulated across run() calls so a multi-figure sweep can print one
+        # overall summary (the CLI's ``sweep summary:`` line).
+        self.cells_seen = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cells_deduplicated = 0
+
+    # ------------------------------------------------------------------- api
+    def run(self, cells: Iterable[SweepCell]) -> SweepReport:
+        """Execute every cell and return their results keyed by cell key.
+
+        Results come back in the order the cells were given, regardless of
+        the order workers finish in.
+        """
+        start = time.perf_counter()
+        cell_list = list(cells)
+        seen_keys = set()
+        for cell in cell_list:
+            if cell.key in seen_keys:
+                raise ConfigurationError(f"duplicate cell key {cell.key!r} in sweep grid")
+            seen_keys.add(cell.key)
+
+        # Partition into cache hits and pending work, de-duplicating cells
+        # whose configs hash identically (they would produce the same result).
+        assignments: Dict[str, str] = {}  # cell key -> fingerprint
+        resolved: Dict[str, CellResult] = {}  # fingerprint -> result from store
+        pending: Dict[str, SweepCell] = {}  # fingerprint -> first such cell
+        for cell in cell_list:
+            fingerprint = cell.fingerprint()
+            assignments[cell.key] = fingerprint
+            if fingerprint in resolved or fingerprint in pending:
+                continue
+            record = self.store.get(fingerprint) if self.store is not None else None
+            if record is not None:
+                resolved[fingerprint] = CellResult.from_json_dict(
+                    cell.key, fingerprint, record["result"], from_cache=True
+                )
+                self._report(f"cell {cell.key}: cache hit")
+            else:
+                pending[fingerprint] = cell
+        store_fingerprints = set(resolved)
+
+        for outcome in self._compute(list(pending.values())):
+            if isinstance(outcome, _CellFailure):
+                raise SweepError(
+                    f"sweep cell {outcome.key!r} failed: {outcome.error}\n"
+                    f"--- worker traceback ---\n{outcome.worker_traceback}"
+                )
+            resolved[outcome.fingerprint] = outcome
+            if self.store is not None:
+                self.store.put(
+                    outcome.fingerprint,
+                    pending[outcome.fingerprint].config_dict(),
+                    outcome.to_json_dict(),
+                )
+            self._report(f"cell {outcome.key}: simulated in {outcome.elapsed_seconds:.2f}s")
+
+        hits = misses = deduplicated = 0
+        for cell in cell_list:
+            fingerprint = assignments[cell.key]
+            if fingerprint in store_fingerprints:
+                hits += 1
+            elif cell is pending.get(fingerprint):
+                misses += 1
+            else:
+                deduplicated += 1
+        self.cells_seen += len(cell_list)
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.cells_deduplicated += deduplicated
+
+        results = {
+            cell.key: replace(resolved[assignments[cell.key]], key=cell.key)
+            for cell in cell_list
+        }
+        return SweepReport(
+            results=results,
+            hits=hits,
+            misses=misses,
+            deduplicated=deduplicated,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def summary(self) -> str:
+        """Accumulated accounting across every sweep this runner has run."""
+        line = (
+            f"sweep summary: {self.cells_seen} cells, {self.cache_misses} simulated, "
+            f"{self.cache_hits} cache hits"
+        )
+        if self.cells_deduplicated:
+            line += f", {self.cells_deduplicated} deduplicated"
+        return line + f", jobs={self.jobs}"
+
+    # -------------------------------------------------------------- internals
+    def _compute(
+        self, cells: List[SweepCell]
+    ) -> Iterable[Union[CellResult, _CellFailure]]:
+        if not cells:
+            return
+        if self.jobs == 1 or len(cells) == 1:
+            for cell in cells:
+                yield _execute(cell)
+            return
+        context = multiprocessing.get_context(self._mp_context)
+        workers = min(self.jobs, len(cells))
+        # The context manager terminates the pool on error, so a failing cell
+        # aborts the sweep instead of hanging the remaining futures.
+        with context.Pool(processes=workers) as pool:
+            yield from pool.imap_unordered(_execute, cells)
+
+    def _report(self, line: str) -> None:
+        if self._progress is not None:
+            self._progress(line)
+
+
+__all__ = ["SweepRunner", "SweepReport"]

@@ -1,0 +1,122 @@
+"""Persistent sweep results: an append-only JSON-lines store.
+
+Layout: one ``results.jsonl`` file under the store's root directory.  Each
+line is a self-contained record::
+
+    {"schema": 1, "fingerprint": "<sha256>", "config": {...}, "result": {...}}
+
+``fingerprint`` is the content hash of the cell configuration
+(:meth:`repro.runner.cells.SweepCell.fingerprint`); ``config`` is the full
+configuration dict kept alongside for auditability (a record can be traced
+back to its scenario without the code that produced it); ``result`` is the
+:meth:`repro.runner.cells.CellResult.to_json_dict` payload.
+
+The format is deliberately boring: appends are a single ``write`` call, a
+half-written last line (from a killed run) is skipped on load, duplicate
+fingerprints resolve to the *last* record, and the file diffs/merges cleanly
+enough to commit a small fixture store for CI warm-cache runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.exceptions import ConfigurationError
+from repro.runner.cells import SCHEMA_VERSION
+
+
+class ResultsStore:
+    """A directory-backed cache of cell results, keyed by config fingerprint."""
+
+    FILENAME = "results.jsonl"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self._root = Path(root)
+        if self._root.exists() and not self._root.is_dir():
+            raise ConfigurationError(
+                f"results store root {str(self._root)!r} exists and is not a directory"
+            )
+        self._index: Dict[str, Dict[str, Any]] = {}
+        self._loaded = False
+
+    # ----------------------------------------------------------------- layout
+    @property
+    def root(self) -> Path:
+        """The store's root directory."""
+        return self._root
+
+    @property
+    def path(self) -> Path:
+        """The JSON-lines file holding every record."""
+        return self._root / self.FILENAME
+
+    # ------------------------------------------------------------------ index
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        if not self.path.exists():
+            return
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A crashed writer can leave a truncated final line; every
+                # complete record before it is still usable.
+                continue
+            if (
+                isinstance(record, dict)
+                and record.get("schema") == SCHEMA_VERSION
+                and isinstance(record.get("fingerprint"), str)
+                and isinstance(record.get("result"), dict)
+            ):
+                self._index[record["fingerprint"]] = record
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The record for ``fingerprint``, or ``None`` on a cache miss."""
+        self._load()
+        return self._index.get(fingerprint)
+
+    def put(
+        self,
+        fingerprint: str,
+        config: Dict[str, Any],
+        result: Dict[str, Any],
+    ) -> None:
+        """Append one record and index it."""
+        self._load()
+        record = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "config": config,
+            "result": result,
+        }
+        self._root.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._index[fingerprint] = record
+
+    # -------------------------------------------------------------- protocols
+    def fingerprints(self) -> Iterator[str]:
+        """All cached fingerprints (insertion order of the file)."""
+        self._load()
+        return iter(self._index)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        self._load()
+        return fingerprint in self._index
+
+    def __len__(self) -> int:
+        self._load()
+        return len(self._index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ResultsStore(root={str(self._root)!r}, records={len(self)})"
+
+
+__all__ = ["ResultsStore"]

@@ -10,7 +10,7 @@ classifier evaluate log-densities stably even far in the tails).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -9,7 +9,6 @@ from repro.exceptions import ConfigurationError
 from repro.experiments import CollectionMode, ScenarioConfig, collect_labelled_intervals
 from repro.experiments.base import apply_analytic_network_noise
 from repro.padding import cit_policy, vit_policy
-from repro.sim import RandomStreams
 
 
 class TestScenarioConfig:
@@ -32,6 +31,30 @@ class TestScenarioConfig:
             ScenarioConfig(n_hops=-1)
         with pytest.raises(ConfigurationError):
             ScenarioConfig(warmup_time=-1.0)
+
+    def test_cross_utilization_without_hops_names_both_fields(self):
+        """Regression: the error must name the offending fields and values."""
+        with pytest.raises(ConfigurationError) as excinfo:
+            ScenarioConfig(cross_utilization=0.3, n_hops=0)
+        message = str(excinfo.value)
+        assert "cross_utilization=0.3" in message
+        assert "n_hops=0" in message
+
+    @pytest.mark.parametrize(
+        "kwargs, fragments",
+        [
+            (dict(low_rate_pps=40.0, high_rate_pps=10.0), ("high_rate_pps=10.0", "low_rate_pps=40.0")),
+            (dict(high_rate_pps=200.0), ("high_rate_pps=200.0", "padded rate")),
+            (dict(n_hops=-1), ("n_hops=-1",)),
+            (dict(n_hops=1, cross_utilization=1.5), ("cross_utilization=1.5",)),
+            (dict(warmup_time=-1.0), ("warmup_time=-1.0",)),
+        ],
+    )
+    def test_validation_errors_name_field_and_value(self, kwargs, fragments):
+        with pytest.raises(ConfigurationError) as excinfo:
+            ScenarioConfig(**kwargs)
+        for fragment in fragments:
+            assert fragment in str(excinfo.value)
 
     def test_net_variance_zero_without_hops(self):
         assert ScenarioConfig().net_piat_variance() == 0.0
@@ -99,8 +122,17 @@ class TestCollection:
         assert np.var(capture_noisy.intervals["low"]) > 2 * np.var(capture_clean.intervals["low"])
 
     def test_too_small_capture_rejected(self):
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError) as excinfo:
             collect_labelled_intervals(ScenarioConfig(), 1)
+        assert "n_intervals_per_class=1" in str(excinfo.value)
+
+    def test_unknown_mode_rejected_with_choices(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            collect_labelled_intervals(ScenarioConfig(), 100, mode="warp-speed")
+        message = str(excinfo.value)
+        assert "mode='warp-speed'" in message
+        for valid in ("simulation", "hybrid", "analytic"):
+            assert valid in message
 
 
 class TestAnalyticNetworkNoise:

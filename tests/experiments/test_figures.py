@@ -118,6 +118,23 @@ class TestFig5:
         assert config.scenario_for(0.0).policy.kind == "CIT"
         assert config.scenario_for(1e-3).policy.kind == "VIT"
 
+    def test_extension_features_run_without_fake_theory(self):
+        """mad/iqr are measured empirically but get NaN in the theorem column."""
+        import math
+
+        config = Fig5Config(
+            sigma_t_values=(0.0,),
+            sample_size=100,
+            trials=4,
+            features=("variance", "mad"),
+            mode=CollectionMode.ANALYTIC,
+            seed=11,
+        )
+        result = Fig5Experiment(config).run()
+        assert 0.0 <= result.empirical_detection_rate["mad"][0.0] <= 1.0
+        assert math.isnan(result.theoretical_detection_rate["mad"][0.0])
+        assert not math.isnan(result.theoretical_detection_rate["variance"][0.0])
+
 
 class TestFig6:
     @pytest.fixture(scope="class")

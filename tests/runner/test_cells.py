@@ -1,0 +1,146 @@
+"""Tests for sweep cells: validation, fingerprints, execution, JSON round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import CollectionMode, ScenarioConfig
+from repro.runner import CellResult, SweepCell, run_cell
+
+
+def make_cell(**overrides) -> SweepCell:
+    params = dict(
+        key="cell",
+        scenario=ScenarioConfig(),
+        sample_sizes=(50,),
+        trials=4,
+        mode=CollectionMode.ANALYTIC,
+        seed=7,
+    )
+    params.update(overrides)
+    return SweepCell(**params)
+
+
+class TestSweepCellValidation:
+    def test_accepts_mode_by_value(self):
+        assert make_cell(mode="analytic").mode is CollectionMode.ANALYTIC
+
+    def test_unknown_mode_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_cell(mode="warp-speed")
+        message = str(excinfo.value)
+        assert "mode='warp-speed'" in message
+        assert "analytic" in message
+
+    def test_coerces_sequences_to_tuples(self):
+        cell = make_cell(sample_sizes=[50, 100], features=["variance"])
+        assert cell.sample_sizes == (50, 100)
+        assert cell.features == ("variance",)
+
+    @pytest.mark.parametrize(
+        "overrides, fragment",
+        [
+            (dict(key=""), "key"),
+            (dict(sample_sizes=()), "sample_sizes"),
+            (dict(sample_sizes=(1,)), "sample_sizes"),
+            (dict(trials=1), "trials=1"),
+            (dict(features=()), "features"),
+            (dict(seed_offsets=("same", "same")), "seed_offsets"),
+        ],
+    )
+    def test_rejects_bad_fields_naming_them(self, overrides, fragment):
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_cell(**overrides)
+        assert fragment in str(excinfo.value)
+
+    def test_intervals_per_class(self):
+        assert make_cell(sample_sizes=(50, 200), trials=5).intervals_per_class == 1000
+
+
+class TestFingerprint:
+    def test_stable_for_equal_configs(self):
+        assert make_cell().fingerprint() == make_cell().fingerprint()
+
+    def test_independent_of_display_key(self):
+        assert make_cell(key="a").fingerprint() == make_cell(key="b").fingerprint()
+
+    def test_independent_of_policy_display_name(self):
+        """Relabelling a padding policy must not cold the cache."""
+        from repro.padding import cit_policy
+
+        renamed = ScenarioConfig(policy=cit_policy(name="CIT-10ms-renamed"))
+        assert (
+            make_cell(scenario=renamed).fingerprint()
+            == make_cell(scenario=ScenarioConfig()).fingerprint()
+        )
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(seed=8),
+            dict(trials=5),
+            dict(sample_sizes=(100,)),
+            dict(mode=CollectionMode.SIMULATION),
+            dict(scenario=ScenarioConfig(n_hops=1)),
+            dict(features=("variance",)),
+            dict(seed_offsets=("train-x", "test-x")),
+            dict(collect_piat_stats=True),
+        ],
+    )
+    def test_sensitive_to_result_affecting_fields(self, overrides):
+        assert make_cell(**overrides).fingerprint() != make_cell().fingerprint()
+
+    def test_config_dict_is_json_plain(self):
+        import json
+
+        payload = make_cell().config_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestRunCell:
+    def test_produces_rates_for_every_feature_and_size(self):
+        cell = make_cell(sample_sizes=(50, 100), collect_piat_stats=True)
+        result = run_cell(cell)
+        assert set(result.empirical_detection_rate) == {"mean", "variance", "entropy"}
+        for by_n in result.empirical_detection_rate.values():
+            assert set(by_n) == {50, 100}
+            assert all(0.0 <= rate <= 1.0 for rate in by_n.values())
+        assert result.measured_variance_ratio > 0.0
+        assert set(result.piat_stats) == {"low", "high"}
+        assert result.fingerprint == cell.fingerprint()
+        assert not result.from_cache
+
+    def test_is_deterministic(self):
+        a, b = run_cell(make_cell()), run_cell(make_cell())
+        assert a.empirical_detection_rate == b.empirical_detection_rate
+        assert a.measured_variance_ratio == b.measured_variance_ratio
+
+    def test_unknown_feature_fails_loudly(self):
+        cell = make_cell(features=("variance", "bogus"))
+        with pytest.raises(ConfigurationError) as excinfo:
+            run_cell(cell)
+        assert "bogus" in str(excinfo.value)
+
+    def test_skips_piat_stats_by_default(self):
+        assert run_cell(make_cell()).piat_stats == {}
+
+
+class TestCellResultRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        result = run_cell(make_cell(sample_sizes=(50, 100), collect_piat_stats=True))
+        restored = CellResult.from_json_dict(
+            result.key, result.fingerprint, result.to_json_dict()
+        )
+        assert restored.empirical_detection_rate == result.empirical_detection_rate
+        assert restored.measured_variance_ratio == result.measured_variance_ratio
+        assert restored.measured_means == result.measured_means
+        assert restored.piat_stats == result.piat_stats
+        assert restored.from_cache
+
+    def test_sample_size_keys_survive_as_ints(self):
+        result = run_cell(make_cell(sample_sizes=(50,)))
+        payload = result.to_json_dict()
+        assert list(payload["empirical_detection_rate"]["variance"]) == ["50"]
+        restored = CellResult.from_json_dict("k", "fp", payload)
+        assert list(restored.empirical_detection_rate["variance"]) == [50]

@@ -1,0 +1,85 @@
+"""Tests for the JSON-lines results store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import SCHEMA_VERSION, ResultsStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultsStore(tmp_path / "cache")
+
+
+RESULT = {"empirical_detection_rate": {"variance": {"50": 0.9}}, "measured_variance_ratio": 1.5}
+
+
+class TestResultsStore:
+    def test_miss_returns_none(self, store):
+        assert store.get("deadbeef") is None
+        assert "deadbeef" not in store
+        assert len(store) == 0
+
+    def test_put_then_get(self, store):
+        store.put("abc", {"seed": 1}, RESULT)
+        record = store.get("abc")
+        assert record["result"] == RESULT
+        assert record["config"] == {"seed": 1}
+        assert record["schema"] == SCHEMA_VERSION
+        assert "abc" in store and len(store) == 1
+
+    def test_persists_across_instances(self, store):
+        store.put("abc", {}, RESULT)
+        reopened = ResultsStore(store.root)
+        assert reopened.get("abc")["result"] == RESULT
+
+    def test_layout_is_one_jsonl_file(self, store):
+        store.put("abc", {}, RESULT)
+        store.put("def", {}, RESULT)
+        assert store.path == store.root / "results.jsonl"
+        lines = store.path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["schema"] == SCHEMA_VERSION for line in lines)
+
+    def test_last_record_wins_on_duplicate_fingerprints(self, store):
+        store.put("abc", {}, {"measured_variance_ratio": 1.0})
+        store.put("abc", {}, {"measured_variance_ratio": 2.0})
+        assert store.get("abc")["result"]["measured_variance_ratio"] == 2.0
+
+    def test_truncated_final_line_is_skipped(self, store):
+        store.put("abc", {}, RESULT)
+        with store.path.open("a") as handle:
+            handle.write('{"schema": 1, "fingerprint": "half')  # killed mid-write
+        reopened = ResultsStore(store.root)
+        assert len(reopened) == 1
+        assert reopened.get("abc") is not None
+
+    def test_foreign_schema_records_are_ignored(self, store):
+        store.put("abc", {}, RESULT)
+        with store.path.open("a") as handle:
+            handle.write(
+                json.dumps(
+                    {"schema": SCHEMA_VERSION + 1, "fingerprint": "xyz", "result": {}}
+                )
+                + "\n"
+            )
+        reopened = ResultsStore(store.root)
+        assert reopened.get("xyz") is None
+
+    def test_root_that_is_a_file_is_rejected(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        target = tmp_path / "not-a-dir"
+        target.touch()
+        with pytest.raises(ConfigurationError) as excinfo:
+            ResultsStore(target)
+        assert "not a directory" in str(excinfo.value)
+
+    def test_directory_created_lazily_on_first_put(self, tmp_path):
+        store = ResultsStore(tmp_path / "nested" / "cache")
+        assert not store.root.exists()  # reads never create the directory
+        store.put("abc", {}, RESULT)
+        assert store.path.exists()

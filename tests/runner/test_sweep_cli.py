@@ -1,0 +1,125 @@
+"""End-to-end tests for the ``repro sweep`` subcommand and the CI cache fixture."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+from repro.cli import build_parser, main
+
+FIXTURE_CACHE = Path(__file__).resolve().parent.parent / "fixtures" / "sweep_cache"
+
+
+def strip_summary(output: str) -> str:
+    """The report text without the trailing ``sweep summary:`` accounting line."""
+    return "\n".join(
+        line for line in output.splitlines() if not line.startswith("sweep summary:")
+    )
+
+
+class TestSweepParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.figures == ["fig4", "fig5", "fig6", "fig8"]
+        assert args.jobs == 1
+        assert args.cache_dir is None
+
+    def test_figure_selection(self):
+        args = build_parser().parse_args(["sweep", "--figures", "fig6", "fig8"])
+        assert args.figures == ["fig6", "fig8"]
+
+    def test_jobs_and_cache_dir_accepted_on_figure_commands(self):
+        args = build_parser().parse_args(
+            ["fig6", "--jobs", "4", "--cache-dir", "/tmp/cache"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == Path("/tmp/cache")
+
+
+class TestSweepCommand:
+    def test_jobs_count_does_not_change_the_results(self, capsys):
+        """The acceptance bar: fig6-style grid, bit-identical at --jobs 1 vs 4."""
+        argv = ["sweep", "--figures", "fig6", "--preset", "smoke"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert strip_summary(serial) == strip_summary(parallel)
+        assert "jobs=1" in serial and "jobs=4" in parallel
+
+    def test_second_invocation_performs_zero_simulations(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--figures", "fig6", "--preset", "smoke",
+            "--jobs", "2", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "2 simulated" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 simulated" in warm
+        assert "2 cache hits" in warm
+        assert strip_summary(cold) == strip_summary(warm)
+
+    def test_cache_survives_jobs_count_changes(self, tmp_path, capsys):
+        base = ["sweep", "--figures", "fig5", "--preset", "smoke", "--cache-dir", str(tmp_path)]
+        main(base + ["--jobs", "2"])
+        capsys.readouterr()
+        main(base + ["--jobs", "1"])
+        assert "0 simulated" in capsys.readouterr().out
+
+    def test_sweep_output_file(self, tmp_path, capsys):
+        target = tmp_path / "reports" / "sweep.txt"
+        assert (
+            main(
+                ["sweep", "--figures", "fig6", "--preset", "smoke", "--output", str(target)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert "Figure 6" in target.read_text()
+
+    def test_configuration_errors_exit_cleanly(self, capsys):
+        """No traceback for bad values that pass argparse but fail validation."""
+        assert main(["fig6", "--preset", "smoke", "--jobs", "0"]) == 2
+        captured = capsys.readouterr()
+        assert "repro: error:" in captured.err
+        assert "jobs=0" in captured.err
+
+    def test_figure_command_accepts_jobs_and_cache(self, tmp_path, capsys):
+        argv = ["fig6", "--preset", "smoke", "--jobs", "2", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert (tmp_path / "results.jsonl").exists()
+
+
+class TestCommittedFixture:
+    """The mini store committed for the CI warm-cache smoke job stays warm."""
+
+    def test_fixture_exists(self):
+        assert (FIXTURE_CACHE / "results.jsonl").is_file()
+
+    def test_smoke_sweep_is_fully_cached_by_the_fixture(self, tmp_path, capsys):
+        """Every cell of the default smoke grid must hit the committed cache.
+
+        If this fails after an intentional change to the smoke preset, the
+        cell schema or the scenario defaults, regenerate the fixture:
+
+            rm tests/fixtures/sweep_cache/results.jsonl
+            PYTHONPATH=src python -m repro sweep --preset smoke --jobs 2 \
+                --cache-dir tests/fixtures/sweep_cache
+        """
+        cache = tmp_path / "cache"
+        shutil.copytree(FIXTURE_CACHE, cache)
+        assert main(["sweep", "--preset", "smoke", "--jobs", "2", "--cache-dir", str(cache)]) == 0
+        replayed = capsys.readouterr().out
+        assert "0 simulated" in replayed
+
+        # The replayed numbers must match a fresh simulation — "0 simulated"
+        # alone would also pass for a stale fixture.
+        assert main(["sweep", "--preset", "smoke", "--jobs", "2"]) == 0
+        fresh = capsys.readouterr().out
+        assert strip_summary(replayed) == strip_summary(fresh)

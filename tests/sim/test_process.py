@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import SimulationError
-from repro.sim import PeriodicProcess, Simulator, delayed_call
+from repro.sim import PeriodicProcess, delayed_call
 
 
 class TestDelayedCall:
