@@ -8,71 +8,77 @@ Two knobs of the adversary's pipeline are fixed constants in the paper:
 This ablation sweeps both on the Figure 4 scenario (CIT, no cross traffic,
 sample size 1000) to show that the headline result — variance/entropy succeed,
 mean fails — is not an artefact of a lucky estimator setting.
+
+Both knobs are ordinary cell fields (``entropy_bin_width``,
+``kde_bandwidth``), so the whole ablation is one cell list executed by the
+parallel sweep runner; numeric bandwidths are multiples of the Silverman
+bandwidth of the pooled training features.
 """
 
 from __future__ import annotations
 
 from conftest import run_once
 
-from repro.adversary.detection import evaluate_attack
-from repro.adversary.features import EntropyFeature, VarianceFeature
-from repro.experiments import CollectionMode, ScenarioConfig, collect_labelled_intervals, format_table
+from repro.experiments import CollectionMode, ScenarioConfig, format_table
+from repro.runner import SweepCell, SweepRunner
 
 SAMPLE_SIZE = 1000
 TRIALS = 15
 BIN_WIDTHS = (5e-6, 2e-5, 5e-5, 2e-4)
 BANDWIDTHS = ("silverman", "scott", 0.5, 2.0)
+JOBS = 4
 
 
-def _collect():
+def _cells() -> list:
     scenario = ScenarioConfig()
-    intervals = SAMPLE_SIZE * TRIALS
-    train = collect_labelled_intervals(scenario, intervals, CollectionMode.SIMULATION, seed=17, seed_offset="train")
-    test = collect_labelled_intervals(scenario, intervals, CollectionMode.SIMULATION, seed=17, seed_offset="test")
-    return train, test
+    common = dict(
+        scenario=scenario,
+        sample_sizes=(SAMPLE_SIZE,),
+        trials=TRIALS,
+        mode=CollectionMode.SIMULATION,
+        seed=17,
+    )
+    cells = [
+        SweepCell(
+            key=f"ablation_est/bin_width={bin_width!r}",
+            features=("entropy",),
+            entropy_bin_width=bin_width,
+            **common,
+        )
+        for bin_width in BIN_WIDTHS
+    ]
+    cells += [
+        SweepCell(
+            key=f"ablation_est/bandwidth={bandwidth!r}",
+            features=("variance",),
+            kde_bandwidth=bandwidth,
+            **common,
+        )
+        for bandwidth in BANDWIDTHS
+    ]
+    return cells
 
 
 def _sweep():
-    train, test = _collect()
-    bin_rows = []
-    for bin_width in BIN_WIDTHS:
-        result = evaluate_attack(
-            train.intervals,
-            test.intervals,
-            EntropyFeature(bin_width=bin_width),
-            SAMPLE_SIZE,
-            max_samples_per_class=TRIALS,
+    report = SweepRunner(jobs=JOBS).run(_cells())
+    bin_rows = [
+        (
+            bin_width,
+            report[f"ablation_est/bin_width={bin_width!r}"].empirical_detection_rate[
+                "entropy"
+            ][SAMPLE_SIZE],
         )
-        bin_rows.append((bin_width, result.detection_rate))
-    bandwidth_rows = []
-    for bandwidth in BANDWIDTHS:
-        # Bandwidth applies to the KDE over feature values; scale factors are
-        # relative multipliers of the Silverman choice when numeric.
-        feature = VarianceFeature()
-        from repro.adversary.detection import empirical_detection_rate, train_classifier
-
-        if isinstance(bandwidth, str):
-            kde_bandwidth = bandwidth
-        else:
-            # express numeric entries as a multiple of the Silverman bandwidth
-            from repro.adversary.detection import extract_feature_samples
-            from repro.stats.kde import silverman_bandwidth
-
-            reference = extract_feature_samples(
-                train.intervals["low"], feature, SAMPLE_SIZE, max_samples=TRIALS
-            )
-            kde_bandwidth = bandwidth * silverman_bandwidth(reference)
-        classifier = train_classifier(
-            train.intervals,
-            feature,
-            SAMPLE_SIZE,
-            max_samples_per_class=TRIALS,
-            bandwidth=kde_bandwidth,
+        for bin_width in BIN_WIDTHS
+    ]
+    bandwidth_rows = [
+        (
+            str(bandwidth),
+            report[f"ablation_est/bandwidth={bandwidth!r}"].empirical_detection_rate[
+                "variance"
+            ][SAMPLE_SIZE],
         )
-        result = empirical_detection_rate(
-            classifier, test.intervals, feature, SAMPLE_SIZE, max_samples_per_class=TRIALS
-        )
-        bandwidth_rows.append((str(bandwidth), result.detection_rate))
+        for bandwidth in BANDWIDTHS
+    ]
     return bin_rows, bandwidth_rows
 
 

@@ -6,6 +6,12 @@ gateway, behind every congested router (worst case).  This ablation sweeps the
 number of loaded hops between the gateway and the tap and reports the
 detection rate at each position, quantifying how much protection "distance
 behind noisy routers" buys for a CIT system (the paper's answer: not enough).
+
+The hop sweep runs as explicit :class:`repro.runner.GridPoint` objects (the
+0-hop tap needs zero cross utilization, so it is not a pure axis product)
+through the parallel sweep runner.  The hybrid cells are two-level: every hop
+count shares one cached gateway capture, so the sweep simulates the gateway
+once instead of once per position.
 """
 
 from __future__ import annotations
@@ -14,39 +20,62 @@ from dataclasses import replace
 
 from conftest import run_once
 
-from repro.adversary.detection import evaluate_attack
-from repro.adversary.features import default_features
-from repro.experiments import CollectionMode, ScenarioConfig, collect_labelled_intervals, format_table
+from repro.experiments import CollectionMode, ScenarioConfig, format_table
+from repro.runner import GridPoint, GridSpec, SweepRunner
 
 SAMPLE_SIZE = 1000
 TRIALS = 15
 HOP_COUNTS = (0, 1, 3, 8, 15)
 PER_HOP_UTILIZATION = 0.2
+JOBS = 4
 
 
-def _evaluate(hops: int) -> dict:
-    scenario = replace(
+def _scenario(hops: int) -> ScenarioConfig:
+    return replace(
         ScenarioConfig(),
         n_hops=hops,
         cross_utilization=PER_HOP_UTILIZATION if hops else 0.0,
     )
-    intervals = SAMPLE_SIZE * TRIALS
-    # The hybrid mode keeps the 15-hop point tractable while using the same
-    # gateway simulation at every position.
-    train = collect_labelled_intervals(scenario, intervals, CollectionMode.HYBRID, seed=23, seed_offset="train")
-    test = collect_labelled_intervals(scenario, intervals, CollectionMode.HYBRID, seed=23, seed_offset="test")
-    rates = {}
-    for name, feature in default_features().items():
-        result = evaluate_attack(
-            train.intervals, test.intervals, feature, SAMPLE_SIZE, max_samples_per_class=TRIALS
+
+
+def _grid() -> GridSpec:
+    points = [
+        GridPoint(
+            key=f"ablation_tap/hops={hops}",
+            scenario=_scenario(hops),
+            shared_capture=True,
+            capture_key="ablation_tap/gateway-capture",
+            # One gateway capture for every tap position, but independent
+            # noise draws per position.
+            noise_offsets=(f"train-hops{hops}", f"test-hops{hops}"),
         )
-        rates[name] = result.detection_rate
-    rates["r"] = scenario.variance_ratio()
-    return rates
+        for hops in HOP_COUNTS
+    ]
+    # The hybrid mode keeps the 15-hop point tractable while sharing the same
+    # gateway capture across every tap position.
+    return GridSpec.from_points(
+        "ablation_tap",
+        points,
+        seeds=(23,),
+        sample_sizes=(SAMPLE_SIZE,),
+        trials=TRIALS,
+        mode=CollectionMode.HYBRID,
+    )
 
 
-def _sweep():
-    return {hops: _evaluate(hops) for hops in HOP_COUNTS}
+def _sweep() -> dict:
+    grid = _grid()
+    report = SweepRunner(jobs=JOBS).run(grid.cells())
+    results = {}
+    for hops in HOP_COUNTS:
+        cell = report[f"ablation_tap/hops={hops}"]
+        rates = {
+            name: cell.empirical_detection_rate[name][SAMPLE_SIZE]
+            for name in ("mean", "variance", "entropy")
+        }
+        rates["r"] = _scenario(hops).variance_ratio()
+        results[hops] = rates
+    return results
 
 
 def test_tap_position_ablation(benchmark, record_figure):

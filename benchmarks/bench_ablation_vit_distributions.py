@@ -6,44 +6,57 @@ point ``sigma_T = 0.3 ms`` with four different interval families at identical
 ``(tau, sigma_T)`` and compares the resulting detection rates — they should
 all collapse toward the 50 % floor, confirming that the defence needs
 variance, not any particular shape.
+
+The family sweep is a *policy axis* of a :class:`repro.runner.GridSpec`
+product executed by the parallel sweep runner, so the four event simulations
+fan out across ``JOBS`` workers.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from conftest import run_once
 
-from repro.adversary.detection import evaluate_attack
-from repro.adversary.features import default_features
-from repro.experiments import CollectionMode, ScenarioConfig, collect_labelled_intervals, format_table
+from repro.experiments import CollectionMode, ScenarioConfig, format_table
 from repro.padding.policies import PaddingPolicy
+from repro.runner import GridSpec, SweepRunner
 
 SIGMA_T = 3e-4
 SAMPLE_SIZE = 1000
 TRIALS = 12
 FAMILIES = ("normal", "uniform", "exponential", "lognormal")
+JOBS = 4
 
 
-def _evaluate_family(family: str) -> dict:
-    policy = PaddingPolicy(
+def _policy(family: str) -> PaddingPolicy:
+    return PaddingPolicy(
         name=f"VIT-{family}", kind="VIT", mean_interval=0.01, sigma_t=SIGMA_T, family=family
     )
-    scenario = replace(ScenarioConfig(), policy=policy)
-    intervals = SAMPLE_SIZE * TRIALS
-    train = collect_labelled_intervals(scenario, intervals, CollectionMode.SIMULATION, seed=7, seed_offset="train")
-    test = collect_labelled_intervals(scenario, intervals, CollectionMode.SIMULATION, seed=7, seed_offset="test")
-    rates = {}
-    for name, feature in default_features().items():
-        result = evaluate_attack(
-            train.intervals, test.intervals, feature, SAMPLE_SIZE, max_samples_per_class=TRIALS
-        )
-        rates[name] = result.detection_rate
-    return rates
+
+
+def _grid() -> GridSpec:
+    return GridSpec.product(
+        "ablation_vit",
+        ScenarioConfig(),
+        policies=[_policy(family) for family in FAMILIES],
+        seeds=(7,),
+        sample_sizes=(SAMPLE_SIZE,),
+        trials=TRIALS,
+        mode=CollectionMode.SIMULATION,
+    )
 
 
 def _sweep() -> dict:
-    return {family: _evaluate_family(family) for family in FAMILIES}
+    grid = _grid()
+    report = SweepRunner(jobs=JOBS).run(grid.cells())
+    return {
+        family: {
+            name: report[f"ablation_vit/policy=VIT-{family}"].empirical_detection_rate[name][
+                SAMPLE_SIZE
+            ]
+            for name in ("mean", "variance", "entropy")
+        }
+        for family in FAMILIES
+    }
 
 
 def test_vit_distribution_family_ablation(benchmark, record_figure):

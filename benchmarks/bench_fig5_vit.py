@@ -6,6 +6,10 @@ Figure 5(a): empirical detection rate versus the timer standard deviation
 Figure 5(b): theoretical sample size needed for 99 % detection versus
 ``sigma_T`` — it explodes beyond anything an adversary could collect (the
 paper quotes > 1e11 intervals at ``sigma_T`` = 1 ms).
+
+The ``sigma_T`` sweep runs through the parallel sweep runner (one worker per
+grid cell, up to ``JOBS``), so the benchmark measures the fanned-out
+wall-clock the CLI's ``--jobs`` users actually see.
 """
 
 from __future__ import annotations
@@ -13,6 +17,9 @@ from __future__ import annotations
 from conftest import run_once
 
 from repro.experiments import CollectionMode, Fig5Config, Fig5Experiment
+from repro.runner import SweepRunner
+
+JOBS = 4
 
 
 def test_fig5_vit_padding(benchmark, record_figure):
@@ -23,7 +30,8 @@ def test_fig5_vit_padding(benchmark, record_figure):
         mode=CollectionMode.SIMULATION,
         seed=2003,
     )
-    result = run_once(benchmark, Fig5Experiment(config).run)
+    experiment = Fig5Experiment(config)
+    result = run_once(benchmark, lambda: experiment.run(runner=SweepRunner(jobs=JOBS)))
     record_figure("fig5_vit_padding", result.to_text())
 
     # Shape checks: CIT point is detectable, the largest sigma_T is not.

@@ -3,7 +3,8 @@
 ``python -m repro <figure> [options]`` runs one experiment with a
 configuration scaled by ``--preset`` and prints the regenerated rows;
 ``python -m repro sweep`` runs several figure grids through the parallel
-sweep runner in one go:
+sweep runner in one go; ``python -m repro cache`` maintains a persistent
+results store:
 
 ```
 python -m repro fig4                        # full event simulation, paper-like sizes
@@ -12,14 +13,18 @@ python -m repro fig6 --preset fast --jobs 4 # hybrid sweep across 4 worker proce
 python -m repro fig8 --seed 7 --output fig8.txt
 python -m repro sweep --preset smoke --jobs 2 --cache-dir .sweep-cache
 python -m repro sweep --figures fig6 fig8 --preset fast --jobs 8
+python -m repro sweep --preset fast --seeds 5 --ci        # mean ± 95% CI per grid point
+python -m repro cache compact --cache-dir .sweep-cache    # drop superseded records
 ```
 
-Every command accepts ``--jobs`` (worker processes for independent grid
-cells) and ``--cache-dir`` (a persistent :class:`repro.runner.ResultsStore`;
+Every figure command accepts ``--jobs`` (worker processes for independent
+grid cells), ``--cache-dir`` (a persistent :class:`repro.runner.ResultsStore`;
 re-running the same grid against the same cache directory performs zero
-simulations).  The CLI is otherwise a thin veneer over
-:mod:`repro.experiments`; anything beyond preset/seed/output selection is
-done in Python against the ``Fig*Config`` dataclasses directly.
+simulations), ``--seeds N`` (fan every grid point out over ``N`` consecutive
+master seeds and report per-point means) and ``--ci`` (add a bootstrap
+confidence interval column; needs ``--seeds`` >= 2).  The CLI is otherwise a
+thin veneer over :mod:`repro.experiments`; anything beyond preset/seed/output
+selection is done in Python against the ``Fig*Config`` dataclasses directly.
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
 from repro._version import __version__
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments import (
     CollectionMode,
     Fig4Config,
@@ -42,7 +47,7 @@ from repro.experiments import (
     Fig8Config,
     Fig8Experiment,
 )
-from repro.runner import ResultsStore, SweepRunner
+from repro.runner import ResultsStore, SweepRunner, seed_range
 
 #: Presets trade fidelity against run time.  ``paper`` uses full event
 #: simulation with figure-like sample sizes; ``fast`` switches the network to
@@ -51,6 +56,9 @@ from repro.runner import ResultsStore, SweepRunner
 #: is a tiny all-analytic grid used by the CI smoke job to exercise the sweep
 #: runner and its cache end-to-end in seconds.
 PRESETS = ("paper", "fast", "quick", "smoke")
+
+#: Confidence level of the ``--ci`` bootstrap bands.
+CI_CONFIDENCE = 0.95
 
 
 def _fig4_config(preset: str, seed: int) -> Fig4Config:
@@ -134,8 +142,9 @@ def _fig8_config(preset: str, seed: int) -> Fig8Config:
 
 
 #: Experiment factories keyed by figure name.  Each returned experiment
-#: exposes ``cells()`` / ``run(runner)`` / ``assemble(report)`` so the sweep
-#: subcommand can pool every figure's cells into one combined runner call.
+#: exposes ``cells(seeds)`` / ``run(runner, seeds, confidence)`` /
+#: ``assemble(report, seeds, confidence)`` so the sweep subcommand can pool
+#: every figure's cells into one combined runner call.
 _FIGURES: Dict[str, Callable[[str, int], object]] = {
     "fig4": lambda preset, seed: Fig4Experiment(_fig4_config(preset, seed)),
     "fig5": lambda preset, seed: Fig5Experiment(_fig5_config(preset, seed)),
@@ -152,6 +161,22 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         help="fidelity/run-time preset (default: fast)",
     )
     parser.add_argument("--seed", type=int, default=2003, help="master random seed")
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run every grid point at N consecutive master seeds (starting at "
+        "--seed) and report the per-point mean (default: 1, the historical "
+        "single-seed layout)",
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        # argparse %-formats help strings, so the percent sign is doubled.
+        help=f"add a {CI_CONFIDENCE:.0%}".replace("%", "%%")
+        + " bootstrap confidence interval per grid point (needs --seeds >= 2)",
+    )
     parser.add_argument(
         "--output",
         type=Path,
@@ -184,7 +209,8 @@ def build_parser() -> argparse.ArgumentParser:
         dest="figure",
         metavar="figure",
         required=True,
-        help="which evaluation figure to regenerate, or 'sweep' for several at once",
+        help="which evaluation figure to regenerate, 'sweep' for several at "
+        "once, or 'cache' for store maintenance",
     )
     for name in sorted(_FIGURES):
         figure_parser = subcommands.add_parser(
@@ -204,7 +230,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FIG",
         help="figures to include in the sweep (default: all)",
     )
+    cache = subcommands.add_parser(
+        "cache",
+        help="maintain a persistent results store",
+    )
+    cache.add_argument(
+        "action",
+        choices=("compact",),
+        help="compact: drop superseded duplicate records and fold a legacy "
+        "flat results.jsonl into the sharded layout",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        type=Path,
+        required=True,
+        help="the results store to maintain",
+    )
     return parser
+
+
+def _run_cache_command(args: argparse.Namespace) -> str:
+    store = ResultsStore(args.cache_dir)
+    stats = store.compact()
+    return f"cache compact: {stats}"
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -212,32 +260,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        store = ResultsStore(args.cache_dir) if args.cache_dir is not None else None
-        runner = SweepRunner(jobs=args.jobs, store=store)
-
-        if args.figure == "sweep":
-            # One combined runner call: every selected figure's cells share
-            # the worker pool, so e.g. fig4's single cell runs alongside
-            # fig8's 24-hour grid instead of serialising per figure.
-            experiments = [
-                _FIGURES[name](args.preset, args.seed) for name in args.figures
-            ]
-            all_cells = [cell for experiment in experiments for cell in experiment.cells()]
-            combined = runner.run(all_cells)
-            reports = [experiment.assemble(combined).to_text() for experiment in experiments]
-            report = "\n\n".join(reports) + "\n\n" + runner.summary()
+        if args.figure == "cache":
+            report = _run_cache_command(args)
         else:
-            result = _FIGURES[args.figure](args.preset, args.seed).run(runner=runner)
-            report = result.to_text()
+            if args.seeds < 1:
+                raise ConfigurationError(f"--seeds {args.seeds} must be >= 1")
+            if args.ci and args.seeds < 2:
+                raise ConfigurationError(
+                    "--ci needs --seeds >= 2: a confidence interval requires "
+                    "repeated trials per grid point"
+                )
+            seeds = seed_range(args.seed, args.seeds) if args.seeds > 1 else None
+            confidence = CI_CONFIDENCE if args.ci else None
+            store = ResultsStore(args.cache_dir) if args.cache_dir is not None else None
+            runner = SweepRunner(jobs=args.jobs, store=store)
+
+            if args.figure == "sweep":
+                # One combined runner call: every selected figure's cells share
+                # the worker pool, so e.g. fig4's single cell runs alongside
+                # fig8's 24-hour grid instead of serialising per figure.
+                experiments = [
+                    _FIGURES[name](args.preset, args.seed) for name in args.figures
+                ]
+                all_cells = [
+                    cell for experiment in experiments for cell in experiment.cells(seeds)
+                ]
+                combined = runner.run(all_cells)
+                reports = [
+                    experiment.assemble(combined, seeds=seeds, confidence=confidence).to_text()
+                    for experiment in experiments
+                ]
+                report = "\n\n".join(reports) + "\n\n" + runner.summary()
+            else:
+                result = _FIGURES[args.figure](args.preset, args.seed).run(
+                    runner=runner, seeds=seeds, confidence=confidence
+                )
+                report = result.to_text()
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
 
     print(report)
-    if args.output is not None:
-        args.output.parent.mkdir(parents=True, exist_ok=True)
-        args.output.write_text(report)
-        print(f"report written to {args.output}")
+    output = getattr(args, "output", None)
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(report)
+        print(f"report written to {output}")
     return 0
 
 
@@ -245,4 +313,4 @@ if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
     sys.exit(main())
 
 
-__all__ = ["build_parser", "main", "PRESETS"]
+__all__ = ["build_parser", "main", "CI_CONFIDENCE", "PRESETS"]

@@ -35,18 +35,26 @@ from repro.experiments.base import (
     PaddedStreamCapture,
     ScenarioConfig,
     collect_labelled_intervals,
+    resolve_seeds,
+    simulate_gateway_capture,
 )
 from repro.experiments.fig4 import Fig4Config, Fig4Experiment, Fig4Result
 from repro.experiments.fig5 import Fig5Config, Fig5Experiment, Fig5Result
 from repro.experiments.fig6 import Fig6Config, Fig6Experiment, Fig6Result
 from repro.experiments.fig8 import Fig8Config, Fig8Experiment, Fig8Result
-from repro.experiments.report import format_table, render_experiment_report
+from repro.experiments.report import (
+    format_interval,
+    format_table,
+    render_experiment_report,
+)
 
 __all__ = [
     "CollectionMode",
     "ScenarioConfig",
     "PaddedStreamCapture",
     "collect_labelled_intervals",
+    "resolve_seeds",
+    "simulate_gateway_capture",
     "Fig4Config",
     "Fig4Experiment",
     "Fig4Result",
@@ -59,6 +67,7 @@ __all__ = [
     "Fig8Config",
     "Fig8Experiment",
     "Fig8Result",
+    "format_interval",
     "format_table",
     "render_experiment_report",
 ]

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -62,6 +62,25 @@ from repro.units import (
     PAPER_LOW_RATE_PPS,
     PAPER_PACKET_SIZE_BYTES,
 )
+
+
+def resolve_seeds(default_seed, seeds=None):
+    """Normalise an experiment's ``seeds`` argument to a tuple of ints.
+
+    ``None`` (or an empty sequence) keeps the historical single-seed
+    behaviour: the experiment runs at its configured master seed, cell keys
+    stay bare, and reports are byte-identical to the one-seed-per-cell
+    layout.  A sequence of two or more seeds switches the experiment to the
+    multi-seed grid (``@seed=N`` cell keys, aggregated results).
+    """
+    if seeds is None:
+        return (int(default_seed),)
+    resolved = tuple(int(s) for s in seeds)
+    if not resolved:
+        return (int(default_seed),)
+    if len(set(resolved)) != len(resolved):
+        raise ConfigurationError(f"duplicate seeds in {resolved!r}")
+    return resolved
 
 
 class CollectionMode(str, enum.Enum):
@@ -194,7 +213,7 @@ class PaddedStreamCapture:
 
 
 # --------------------------------------------------------------------------- collection
-def _simulate_gateway_capture(
+def simulate_gateway_capture(
     scenario: ScenarioConfig,
     payload_rate_pps: float,
     n_intervals: int,
@@ -296,6 +315,7 @@ def collect_labelled_intervals(
     mode: CollectionMode = CollectionMode.SIMULATION,
     seed: int = 0,
     seed_offset: str = "train",
+    noise_offset: Optional[str] = None,
 ) -> PaddedStreamCapture:
     """Produce one labelled PIAT capture per payload rate.
 
@@ -312,6 +332,11 @@ def collect_labelled_intervals(
     seed_offset:
         Extra tag mixed into the stream names so that training and test
         captures of one experiment are independent ("train" / "test").
+    noise_offset:
+        Optional tag for the hybrid mode's network-noise streams, when they
+        must be salted differently from the gateway streams — e.g. grid
+        points that share one gateway capture but need statistically
+        independent per-point noise.  Defaults to ``seed_offset``.
     """
     if n_intervals_per_class < 2:
         raise ConfigurationError(
@@ -333,7 +358,7 @@ def collect_labelled_intervals(
             intervals[label] = model.sample_intervals(label, n_intervals_per_class, rng=rng)
     elif mode is CollectionMode.SIMULATION:
         for label, rate in scenario.rate_labels.items():
-            intervals[label] = _simulate_gateway_capture(
+            intervals[label] = simulate_gateway_capture(
                 scenario,
                 rate,
                 n_intervals_per_class,
@@ -342,8 +367,9 @@ def collect_labelled_intervals(
                 with_network=True,
             )
     else:  # HYBRID
+        noise_tag = noise_offset if noise_offset is not None else seed_offset
         for label, rate in scenario.rate_labels.items():
-            gateway_intervals = _simulate_gateway_capture(
+            gateway_intervals = simulate_gateway_capture(
                 scenario,
                 rate,
                 n_intervals_per_class + 1,
@@ -352,7 +378,7 @@ def collect_labelled_intervals(
                 with_network=False,
             )
             noisy = apply_analytic_network_noise(
-                gateway_intervals, scenario, streams.get(f"net-noise-{seed_offset}-{label}")
+                gateway_intervals, scenario, streams.get(f"net-noise-{noise_tag}-{label}")
             )
             intervals[label] = noisy[:n_intervals_per_class]
     return PaddedStreamCapture(scenario=scenario, mode=mode, intervals=intervals)
@@ -360,6 +386,8 @@ def collect_labelled_intervals(
 
 __all__ = [
     "CollectionMode",
+    "resolve_seeds",
+    "simulate_gateway_capture",
     "ScenarioConfig",
     "PaddedStreamCapture",
     "collect_labelled_intervals",

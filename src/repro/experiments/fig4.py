@@ -11,12 +11,18 @@ Two sub-figures are reproduced:
 
 The adversary taps right at the sender gateway's output (zero cross traffic),
 the best case for the attacker and hence the worst case for the defender.
+
+The experiment's grid is a single :class:`~repro.runner.grid.GridSpec` point;
+running it over several master seeds (``seeds=...``) reports each detection
+rate as the mean across seeds with an optional bootstrap confidence interval,
+which is how the repeated-capture uncertainty the paper's single collected
+run cannot express is quantified.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.exact import detection_rate_mean_exact, detection_rate_variance_exact
 from repro.core.theorems import (
@@ -25,11 +31,17 @@ from repro.core.theorems import (
     detection_rate_variance,
 )
 from repro.exceptions import ConfigurationError
-from repro.experiments.base import CollectionMode, ScenarioConfig
-from repro.experiments.report import format_table, render_experiment_report
+from repro.experiments.base import CollectionMode, ScenarioConfig, resolve_seeds
+from repro.experiments.report import (
+    format_interval,
+    format_table,
+    render_experiment_report,
+    seed_suffix,
+    with_ci_column,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
-    from repro.runner import SweepCell, SweepRunner
+    from repro.runner import GridSpec, SweepCell, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -77,7 +89,13 @@ class Fig4Config:
 
 @dataclass
 class Fig4Result:
-    """Everything Figure 4 plots, in numeric form."""
+    """Everything Figure 4 plots, in numeric form.
+
+    ``empirical_ci`` and ``r_measured_ci`` hold per-point bootstrap intervals
+    when the experiment ran over several seeds with a confidence level;
+    otherwise they are ``None`` and the report renders exactly as the
+    single-seed layout always has.
+    """
 
     config: Fig4Config
     r_model: float
@@ -86,6 +104,10 @@ class Fig4Result:
     empirical_detection_rate: Dict[str, Dict[int, float]]
     theoretical_detection_rate: Dict[str, Dict[int, float]]
     exact_detection_rate: Dict[str, Dict[int, float]]
+    empirical_ci: Optional[Dict[str, Dict[int, Tuple[float, float]]]] = None
+    r_measured_ci: Optional[Tuple[float, float]] = None
+    n_seeds: int = 1
+    confidence: Optional[float] = None
 
     def rows(self):
         """Figure 4(b) as rows: (feature, sample size, empirical, theory, exact)."""
@@ -111,21 +133,37 @@ class Fig4Result:
             )
             for label, stats in sorted(self.piat_stats.items())
         ]
+        r_line = f"\n\nvariance ratio r: model={self.r_model:.4f}, measured={self.r_measured:.4f}"
+        if self.r_measured_ci is not None:
+            r_line += f" ci{self.confidence:.0%}={format_interval(self.r_measured_ci)}"
+        headers = ["feature", "sample size", "empirical", "theorem", "exact Bayes"]
+        rows_4b = self.rows()
+        if self.empirical_ci is not None:
+            headers, rows_4b = with_ci_column(
+                headers,
+                rows_4b,
+                3,
+                self.confidence,
+                lambda row: self.empirical_ci.get(row[0], {}).get(row[1]),
+            )
+        # Aggregated runs average the per-seed booleans into a fraction; the
+        # column header says so instead of printing a float under "bell-shaped".
+        bell_header = (
+            "bell-shaped (fraction of seeds)" if self.n_seeds > 1 else "bell-shaped"
+        )
         sections = [
             (
-                "Figure 4(a): padded-traffic PIAT statistics per payload rate",
+                "Figure 4(a): padded-traffic PIAT statistics per payload rate"
+                + seed_suffix(self.n_seeds),
                 format_table(
-                    ["payload rate", "mean PIAT (s)", "std PIAT (s)", "QQ deviation", "bell-shaped"],
+                    ["payload rate", "mean PIAT (s)", "std PIAT (s)", "QQ deviation", bell_header],
                     piat_rows,
                 )
-                + f"\n\nvariance ratio r: model={self.r_model:.4f}, measured={self.r_measured:.4f}",
+                + r_line,
             ),
             (
-                "Figure 4(b): detection rate vs sample size",
-                format_table(
-                    ["feature", "sample size", "empirical", "theorem", "exact Bayes"],
-                    self.rows(),
-                ),
+                "Figure 4(b): detection rate vs sample size" + seed_suffix(self.n_seeds),
+                format_table(headers, rows_4b),
             ),
         ]
         return render_experiment_report("Figure 4 — CIT padding, no cross traffic", sections)
@@ -137,41 +175,57 @@ class Fig4Experiment:
     def __init__(self, config: Optional[Fig4Config] = None) -> None:
         self.config = config if config is not None else Fig4Config()
 
-    def cells(self) -> "List[SweepCell]":
-        """The experiment's grid as sweep-runner cells.
+    def grid(self, seeds: Optional[Sequence[int]] = None) -> "GridSpec":
+        """The experiment's grid: a single point, fanned out over the seeds.
 
         Figure 4 sweeps the adversary's sample size over one fixed capture,
-        so the whole experiment is a single cell; it parallelises against the
+        so the grid holds one point per seed; it parallelises against the
         cells of *other* experiments when the CLI's ``sweep`` subcommand runs
         every selected figure's cells through one combined ``runner.run()``.
         """
-        from repro.runner import SweepCell
+        from repro.runner import GridSpec
 
         config = self.config
-        return [
-            SweepCell(
-                key="fig4",
-                scenario=config.scenario,
-                sample_sizes=tuple(config.sample_sizes),
-                trials=config.trials,
-                mode=config.mode,
-                seed=config.seed,
-                entropy_bin_width=config.entropy_bin_width,
-                collect_piat_stats=True,
-            )
-        ]
+        return GridSpec.product(
+            "fig4",
+            config.scenario,
+            seeds=resolve_seeds(config.seed, seeds),
+            sample_sizes=config.sample_sizes,
+            trials=config.trials,
+            mode=config.mode,
+            entropy_bin_width=config.entropy_bin_width,
+            collect_piat_stats=True,
+        )
 
-    def run(self, runner: "Optional[SweepRunner]" = None) -> Fig4Result:
+    def cells(self, seeds: Optional[Sequence[int]] = None) -> "List[SweepCell]":
+        """The experiment's grid as sweep-runner cells."""
+        return self.grid(seeds).cells()
+
+    def run(
+        self,
+        runner: "Optional[SweepRunner]" = None,
+        seeds: Optional[Sequence[int]] = None,
+        confidence: Optional[float] = None,
+    ) -> Fig4Result:
         """Collect captures, run the attack at every sample size, compare with theory."""
         from repro.runner import SweepRunner
 
         runner = runner if runner is not None else SweepRunner()
-        return self.assemble(runner.run(self.cells()))
+        return self.assemble(runner.run(self.cells(seeds)), seeds=seeds, confidence=confidence)
 
-    def assemble(self, report) -> Fig4Result:
+    def assemble(
+        self,
+        report,
+        seeds: Optional[Sequence[int]] = None,
+        confidence: Optional[float] = None,
+    ) -> Fig4Result:
         """Build the figure result from a sweep report containing this grid's cells."""
+        from repro.runner import experiment_view
+
         config = self.config
-        cell = report["fig4"]
+        resolved = resolve_seeds(config.seed, seeds)
+        view = experiment_view(report, self.grid(resolved), confidence=confidence)
+        cell = view["fig4"]
 
         r_model = config.scenario.variance_ratio()
         empirical = cell.empirical_detection_rate
@@ -188,6 +242,7 @@ class Fig4Experiment:
                 else:
                     theoretical[name][n] = detection_rate_entropy(r_model, n)
                     exact[name][n] = detection_rate_variance_exact(r_model, n)
+        empirical_ci = getattr(cell, "detection_rate_ci", None)
         return Fig4Result(
             config=config,
             r_model=r_model,
@@ -196,6 +251,10 @@ class Fig4Experiment:
             empirical_detection_rate=empirical,
             theoretical_detection_rate=theoretical,
             exact_detection_rate=exact,
+            empirical_ci=empirical_ci,
+            r_measured_ci=getattr(cell, "variance_ratio_ci", None),
+            n_seeds=len(resolved),
+            confidence=getattr(cell, "confidence", None),
         )
 
 

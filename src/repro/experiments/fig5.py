@@ -8,12 +8,17 @@
   a function of ``sigma_T`` (from the inverted Theorems 2 and 3): it explodes
   beyond any collectable amount of traffic, e.g. > 1e11 intervals at
   ``sigma_T = 1 ms``.
+
+The ``sigma_T`` sweep is a :class:`~repro.runner.grid.GridSpec` over one
+explicit grid point per timer spread (one CIT policy for the 0 point, one VIT
+policy per positive value); running it over several seeds reports mean ±
+bootstrap CI per grid point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.sample_size import sample_size_vs_sigma_t
 from repro.core.theorems import (
@@ -22,12 +27,17 @@ from repro.core.theorems import (
     detection_rate_variance,
 )
 from repro.exceptions import ConfigurationError
-from repro.experiments.base import CollectionMode, ScenarioConfig
-from repro.experiments.report import format_table, render_experiment_report
-from repro.padding.policies import cit_policy, vit_policy
+from repro.experiments.base import CollectionMode, ScenarioConfig, resolve_seeds
+from repro.experiments.report import (
+    format_table,
+    render_experiment_report,
+    seed_suffix,
+    with_ci_column,
+)
+from repro.padding.policies import PaddingPolicy, cit_policy, vit_policy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
-    from repro.runner import SweepCell, SweepRunner
+    from repro.runner import GridSpec, SweepCell, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -77,13 +87,15 @@ class Fig5Config:
         if not 0.5 < self.target_detection_rate < 1.0:
             raise ConfigurationError("target_detection_rate must lie in (0.5, 1)")
 
+    def policy_for(self, sigma_t: float) -> PaddingPolicy:
+        """The padding policy realising the given ``sigma_T``."""
+        if sigma_t == 0.0:
+            return cit_policy(self.scenario.policy.mean_interval)
+        return vit_policy(sigma_t=sigma_t, mean_interval=self.scenario.policy.mean_interval)
+
     def scenario_for(self, sigma_t: float) -> ScenarioConfig:
         """The scenario with the padding policy set to the given ``sigma_T``."""
-        if sigma_t == 0.0:
-            policy = cit_policy(self.scenario.policy.mean_interval)
-        else:
-            policy = vit_policy(sigma_t=sigma_t, mean_interval=self.scenario.policy.mean_interval)
-        return replace(self.scenario, policy=policy)
+        return replace(self.scenario, policy=self.policy_for(sigma_t))
 
 
 @dataclass
@@ -95,6 +107,9 @@ class Fig5Result:
     theoretical_detection_rate: Dict[str, Dict[float, float]]
     variance_ratios: Dict[float, float]
     required_sample_for_target: Dict[str, Dict[float, float]]
+    empirical_ci: Optional[Dict[str, Dict[float, Tuple[float, float]]]] = None
+    n_seeds: int = 1
+    confidence: Optional[float] = None
 
     def rows_panel_a(self):
         """(feature, sigma_T, r, empirical, theoretical) rows."""
@@ -115,14 +130,22 @@ class Fig5Result:
                 yield (feature, sigma_t, required)
 
     def to_text(self) -> str:
+        title_a = (
+            f"Figure 5(a): detection rate vs sigma_T (sample size {self.config.sample_size})"
+            + seed_suffix(self.n_seeds)
+        )
+        headers_a = ["feature", "sigma_T (s)", "r", "empirical", "theorem"]
+        rows_a = self.rows_panel_a()
+        if self.empirical_ci is not None:
+            headers_a, rows_a = with_ci_column(
+                headers_a,
+                rows_a,
+                4,
+                self.confidence,
+                lambda row: self.empirical_ci.get(row[0], {}).get(row[1]),
+            )
         sections = [
-            (
-                f"Figure 5(a): detection rate vs sigma_T (sample size {self.config.sample_size})",
-                format_table(
-                    ["feature", "sigma_T (s)", "r", "empirical", "theorem"],
-                    self.rows_panel_a(),
-                ),
-            ),
+            (title_a, format_table(headers_a, rows_a)),
             (
                 f"Figure 5(b): sample size for {self.config.target_detection_rate:.0%} detection",
                 format_table(["feature", "sigma_T (s)", "required sample"], self.rows_panel_b()),
@@ -138,48 +161,85 @@ class Fig5Experiment:
         self.config = config if config is not None else Fig5Config()
 
     @staticmethod
-    def cell_key(sigma_t: float) -> str:
-        """The sweep-cell key of one ``sigma_T`` grid point."""
+    def point_key(sigma_t: float) -> str:
+        """The grid-point key of one ``sigma_T`` value.
+
+        Keyed by the exact value, not the policy display name — policy names
+        round ``sigma_T`` to three significant digits, which would collide
+        for fine-grained sweeps.
+        """
         return f"fig5/sigma_t={sigma_t!r}"
 
-    def cells(self) -> "List[SweepCell]":
-        """One sweep-runner cell per ``sigma_T`` grid point."""
-        from repro.runner import SweepCell
+    def grid(self, seeds: Optional[Sequence[int]] = None) -> "GridSpec":
+        """The ``sigma_T`` sweep: one explicit grid point per timer spread.
+
+        Conceptually a policy axis, but built from explicit points so each
+        key carries the exact ``sigma_T`` value (see :meth:`point_key`).
+        """
+        from repro.runner import GridPoint, GridSpec
 
         config = self.config
-        return [
-            SweepCell(
-                key=self.cell_key(sigma_t),
-                scenario=config.scenario_for(sigma_t),
-                sample_sizes=(config.sample_size,),
-                trials=config.trials,
-                mode=config.mode,
-                seed=config.seed,
-                features=tuple(config.features),
-                entropy_bin_width=config.entropy_bin_width,
-            )
-            for sigma_t in config.sigma_t_values
-        ]
+        return GridSpec.from_points(
+            "fig5",
+            [
+                GridPoint(key=self.point_key(sigma_t), scenario=config.scenario_for(sigma_t))
+                for sigma_t in config.sigma_t_values
+            ],
+            seeds=resolve_seeds(config.seed, seeds),
+            sample_sizes=(config.sample_size,),
+            trials=config.trials,
+            mode=config.mode,
+            features=tuple(config.features),
+            entropy_bin_width=config.entropy_bin_width,
+        )
 
-    def run(self, runner: "Optional[SweepRunner]" = None) -> Fig5Result:
+    def cells(self, seeds: Optional[Sequence[int]] = None) -> "List[SweepCell]":
+        """One sweep-runner cell per (``sigma_T``, seed) grid point."""
+        return self.grid(seeds).cells()
+
+    def run(
+        self,
+        runner: "Optional[SweepRunner]" = None,
+        seeds: Optional[Sequence[int]] = None,
+        confidence: Optional[float] = None,
+    ) -> Fig5Result:
         from repro.runner import SweepRunner
 
         runner = runner if runner is not None else SweepRunner()
-        return self.assemble(runner.run(self.cells()))
+        return self.assemble(runner.run(self.cells(seeds)), seeds=seeds, confidence=confidence)
 
-    def assemble(self, report) -> Fig5Result:
+    def assemble(
+        self,
+        report,
+        seeds: Optional[Sequence[int]] = None,
+        confidence: Optional[float] = None,
+    ) -> Fig5Result:
         """Build the figure result from a sweep report containing this grid's cells."""
+        from repro.runner import experiment_view
+
         config = self.config
+        resolved = resolve_seeds(config.seed, seeds)
+        view = experiment_view(report, self.grid(resolved), confidence=confidence)
         empirical: Dict[str, Dict[float, float]] = {name: {} for name in config.features}
         theoretical: Dict[str, Dict[float, float]] = {name: {} for name in config.features}
         ratios: Dict[float, float] = {}
+        empirical_ci: Dict[str, Dict[float, Tuple[float, float]]] = {
+            name: {} for name in config.features
+        }
+        has_ci = False
+        result_confidence: Optional[float] = None
         for sigma_t in config.sigma_t_values:
-            cell = report[self.cell_key(sigma_t)]
+            cell = view[self.point_key(sigma_t)]
+            cell_ci = getattr(cell, "detection_rate_ci", None)
             ratios[sigma_t] = config.scenario_for(sigma_t).variance_ratio()
             for name in config.features:
                 empirical[name][sigma_t] = cell.empirical_detection_rate[name][
                     config.sample_size
                 ]
+                if cell_ci is not None:
+                    empirical_ci[name][sigma_t] = cell_ci[name][config.sample_size]
+                    has_ci = True
+                    result_confidence = getattr(cell, "confidence", None)
                 if name == "mean":
                     theoretical[name][sigma_t] = detection_rate_mean(ratios[sigma_t])
                 elif name == "variance":
@@ -214,6 +274,9 @@ class Fig5Experiment:
             theoretical_detection_rate=theoretical,
             variance_ratios=ratios,
             required_sample_for_target=required,
+            empirical_ci=empirical_ci if has_ci else None,
+            n_seeds=len(resolved),
+            confidence=result_confidence,
         )
 
 

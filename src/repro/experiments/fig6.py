@@ -7,12 +7,16 @@ rate at a fixed sample size (1000 in the paper).  Expected shape: detection
 decreases with utilization because queueing noise (``sigma_net``) dilutes the
 gateway's payload-dependent jitter; sample entropy degrades more gracefully
 than sample variance (outlier sensitivity); the sample mean stays near 50 %.
+
+The utilization sweep is the *utilization axis* of a
+:class:`~repro.runner.grid.GridSpec` product; running it over several seeds
+reports mean ± bootstrap CI per grid point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.theorems import (
     detection_rate_entropy,
@@ -20,12 +24,17 @@ from repro.core.theorems import (
     detection_rate_variance,
 )
 from repro.exceptions import ConfigurationError
-from repro.experiments.base import CollectionMode, ScenarioConfig
-from repro.experiments.report import format_table, render_experiment_report
+from repro.experiments.base import CollectionMode, ScenarioConfig, resolve_seeds
+from repro.experiments.report import (
+    format_table,
+    render_experiment_report,
+    seed_suffix,
+    with_ci_column,
+)
 from repro.padding.policies import cit_policy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
-    from repro.runner import SweepCell, SweepRunner
+    from repro.runner import GridSpec, SweepCell, SweepRunner
 
 
 def _lab_scenario() -> ScenarioConfig:
@@ -75,6 +84,9 @@ class Fig6Result:
     theoretical_detection_rate: Dict[str, Dict[float, float]]
     variance_ratios: Dict[float, float]
     measured_utilizations: Dict[float, float]
+    empirical_ci: Optional[Dict[str, Dict[float, Tuple[float, float]]]] = None
+    n_seeds: int = 1
+    confidence: Optional[float] = None
 
     def rows(self):
         """(feature, target utilization, r, empirical, theoretical) rows."""
@@ -89,14 +101,21 @@ class Fig6Result:
                 )
 
     def to_text(self) -> str:
-        sections = [
-            (
-                f"Figure 6: detection rate vs link utilization (sample size {self.config.sample_size})",
-                format_table(
-                    ["feature", "link utilization", "r", "empirical", "theorem"], self.rows()
-                ),
-            ),
-        ]
+        title = (
+            f"Figure 6: detection rate vs link utilization (sample size {self.config.sample_size})"
+            + seed_suffix(self.n_seeds)
+        )
+        headers = ["feature", "link utilization", "r", "empirical", "theorem"]
+        rows = self.rows()
+        if self.empirical_ci is not None:
+            headers, rows = with_ci_column(
+                headers,
+                rows,
+                4,
+                self.confidence,
+                lambda row: self.empirical_ci.get(row[0], {}).get(row[1]),
+            )
+        sections = [(title, format_table(headers, rows))]
         return render_experiment_report(
             "Figure 6 — CIT padding with laboratory cross traffic", sections
         )
@@ -109,45 +128,70 @@ class Fig6Experiment:
         self.config = config if config is not None else Fig6Config()
 
     @staticmethod
-    def cell_key(utilization: float) -> str:
-        """The sweep-cell key of one utilization grid point."""
-        return f"fig6/utilization={utilization!r}"
+    def point_key(utilization: float) -> str:
+        """The grid-point key of one utilization value.
 
-    def cells(self) -> "List[SweepCell]":
-        """One sweep-runner cell per shared-link utilization."""
-        from repro.runner import SweepCell
+        Coerced to float first: ``GridSpec.product`` normalises the
+        utilization axis the same way, so e.g. an integer ``0`` in the config
+        and the generated cell key agree.
+        """
+        return f"fig6/utilization={float(utilization)!r}"
+
+    def grid(self, seeds: Optional[Sequence[int]] = None) -> "GridSpec":
+        """The utilization sweep as a grid product."""
+        from repro.runner import GridSpec
 
         config = self.config
-        return [
-            SweepCell(
-                key=self.cell_key(utilization),
-                scenario=config.scenario.with_cross_utilization(utilization),
-                sample_sizes=(config.sample_size,),
-                trials=config.trials,
-                mode=config.mode,
-                seed=config.seed,
-                entropy_bin_width=config.entropy_bin_width,
-            )
-            for utilization in config.utilizations
-        ]
+        return GridSpec.product(
+            "fig6",
+            config.scenario,
+            utilizations=config.utilizations,
+            seeds=resolve_seeds(config.seed, seeds),
+            sample_sizes=(config.sample_size,),
+            trials=config.trials,
+            mode=config.mode,
+            entropy_bin_width=config.entropy_bin_width,
+        )
 
-    def run(self, runner: "Optional[SweepRunner]" = None) -> Fig6Result:
+    def cells(self, seeds: Optional[Sequence[int]] = None) -> "List[SweepCell]":
+        """One sweep-runner cell per (utilization, seed) grid point."""
+        return self.grid(seeds).cells()
+
+    def run(
+        self,
+        runner: "Optional[SweepRunner]" = None,
+        seeds: Optional[Sequence[int]] = None,
+        confidence: Optional[float] = None,
+    ) -> Fig6Result:
         from repro.runner import SweepRunner
 
         runner = runner if runner is not None else SweepRunner()
-        return self.assemble(runner.run(self.cells()))
+        return self.assemble(runner.run(self.cells(seeds)), seeds=seeds, confidence=confidence)
 
-    def assemble(self, report) -> Fig6Result:
+    def assemble(
+        self,
+        report,
+        seeds: Optional[Sequence[int]] = None,
+        confidence: Optional[float] = None,
+    ) -> Fig6Result:
         """Build the figure result from a sweep report containing this grid's cells."""
-        from repro.runner import DEFAULT_FEATURES
+        from repro.runner import DEFAULT_FEATURES, experiment_view
 
         config = self.config
+        resolved = resolve_seeds(config.seed, seeds)
+        view = experiment_view(report, self.grid(resolved), confidence=confidence)
         empirical: Dict[str, Dict[float, float]] = {name: {} for name in DEFAULT_FEATURES}
         theoretical: Dict[str, Dict[float, float]] = {name: {} for name in DEFAULT_FEATURES}
+        empirical_ci: Dict[str, Dict[float, Tuple[float, float]]] = {
+            name: {} for name in DEFAULT_FEATURES
+        }
+        has_ci = False
+        result_confidence: Optional[float] = None
         ratios: Dict[float, float] = {}
         measured_utils: Dict[float, float] = {}
         for utilization in config.utilizations:
-            cell = report[self.cell_key(utilization)]
+            cell = view[self.point_key(utilization)]
+            cell_ci = getattr(cell, "detection_rate_ci", None)
             scenario = config.scenario.with_cross_utilization(utilization)
             ratios[utilization] = scenario.variance_ratio()
             # The padded stream's rate never changes, so the realised padded +
@@ -158,6 +202,10 @@ class Fig6Experiment:
                 empirical[name][utilization] = cell.empirical_detection_rate[name][
                     config.sample_size
                 ]
+                if cell_ci is not None:
+                    empirical_ci[name][utilization] = cell_ci[name][config.sample_size]
+                    has_ci = True
+                    result_confidence = getattr(cell, "confidence", None)
                 if name == "mean":
                     theoretical[name][utilization] = detection_rate_mean(ratios[utilization])
                 elif name == "variance":
@@ -174,6 +222,9 @@ class Fig6Experiment:
             theoretical_detection_rate=theoretical,
             variance_ratios=ratios,
             measured_utilizations=measured_utils,
+            empirical_ci=empirical_ci if has_ci else None,
+            n_seeds=len(resolved),
+            confidence=result_confidence,
         )
 
 

@@ -15,14 +15,21 @@ event simulation of 15 routers for 24 hours is possible with the same code
 path (``CollectionMode.SIMULATION``) but takes hours of CPU; the hybrid mode
 preserves the quantity the analysis actually depends on (``sigma_net^2`` per
 hour) and is the documented substitution for the missing physical testbed.
-Because the cells are independent, the 24-hour grid fans out across the
-sweep runner's worker pool and individual hours are cached by content hash.
+
+In hybrid mode the hourly cells are **two-level**: the hour only changes the
+analytic network noise, so all of a network's hours share one cacheable
+gateway capture (:mod:`repro.runner.capture`) — one gateway simulation per
+(network, seed) instead of one per (network, hour, seed), and a warm store
+performs none at all.  This also mirrors the paper's testbed, where the same
+physical padded stream was observed all day: hours differ by the network
+conditions, not by the gateway's behaviour.  Every hour still fans out
+across the sweep runner's worker pool and is cached by content hash.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,14 +39,19 @@ from repro.core.theorems import (
     detection_rate_variance,
 )
 from repro.exceptions import ConfigurationError
-from repro.experiments.base import CollectionMode, ScenarioConfig
-from repro.experiments.report import format_table, render_experiment_report
+from repro.experiments.base import CollectionMode, ScenarioConfig, resolve_seeds
+from repro.experiments.report import (
+    format_table,
+    render_experiment_report,
+    seed_suffix,
+    with_ci_column,
+)
 from repro.network.topology import TopologySpec, campus_topology, wan_topology
 from repro.padding.policies import cit_policy
 from repro.traffic.schedule import DiurnalProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
-    from repro.runner import SweepCell, SweepRunner
+    from repro.runner import GridSpec, SweepCell, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -120,6 +132,9 @@ class Fig8Result:
     theoretical_detection_rate: Dict[str, Dict[str, Dict[int, float]]]
     variance_ratios: Dict[str, Dict[int, float]]
     utilizations: Dict[str, Dict[int, float]]
+    empirical_ci: Optional[Dict[str, Dict[str, Dict[int, Tuple[float, float]]]]] = None
+    n_seeds: int = 1
+    confidence: Optional[float] = None
 
     def rows(self):
         """(network, feature, hour, per-hop utilization, r, empirical, theory) rows."""
@@ -145,15 +160,21 @@ class Fig8Result:
         return rates[quiet_hour] - rates[busy_hour]
 
     def to_text(self) -> str:
-        sections = [
-            (
-                f"Figure 8: hourly detection rate (sample size {self.config.sample_size})",
-                format_table(
-                    ["network", "feature", "hour", "hop utilization", "r", "empirical", "theorem"],
-                    self.rows(),
-                ),
-            ),
-        ]
+        title = (
+            f"Figure 8: hourly detection rate (sample size {self.config.sample_size})"
+            + seed_suffix(self.n_seeds)
+        )
+        headers = ["network", "feature", "hour", "hop utilization", "r", "empirical", "theorem"]
+        rows = self.rows()
+        if self.empirical_ci is not None:
+            headers, rows = with_ci_column(
+                headers,
+                rows,
+                6,
+                self.confidence,
+                lambda row: self.empirical_ci.get(row[0], {}).get(row[1], {}).get(row[2]),
+            )
+        sections = [(title, format_table(headers, rows))]
         return render_experiment_report("Figure 8 — campus and wide-area networks", sections)
 
 
@@ -164,60 +185,102 @@ class Fig8Experiment:
         self.config = config if config is not None else Fig8Config()
 
     @staticmethod
-    def cell_key(network: str, hour: int) -> str:
-        """The sweep-cell key of one (network, hour) grid point."""
+    def point_key(network: str, hour: int) -> str:
+        """The grid-point key of one (network, hour)."""
         return f"fig8/{network}/hour={hour:02d}"
 
-    def cells(self) -> "List[SweepCell]":
-        """One self-contained sweep-runner cell per (network, hour).
+    def grid(self, seeds: Optional[Sequence[int]] = None) -> "GridSpec":
+        """One grid point per (network, hour), fanned out over the seeds.
 
-        Each cell collects its own captures — including, in hybrid mode, its
-        own gateway simulation — so cells carry no shared state and can run
-        on any worker.  Distinct ``seed_offsets`` per (network, hour) keep
-        every cell's traffic statistically independent while remaining
-        reproducible from the one master seed.
+        In hybrid mode the points of one network share a gateway capture:
+        their seed offsets are per-network (the hour only changes the
+        analytic noise), and ``shared_capture`` lets the runner factor the
+        event simulation out into one cacheable
+        :class:`~repro.runner.capture.CaptureSpec` per (network, seed).  The
+        network-noise streams stay salted per (network, hour) via
+        ``noise_offsets``, so hourly grid points share the gateway but draw
+        statistically independent noise — as a physical testbed would.  In
+        the other modes every (network, hour) keeps its own fully
+        independent capture streams, exactly as before.
         """
-        from repro.runner import SweepCell
+        from repro.runner import GridPoint, GridSpec
 
         config = self.config
-        return [
-            SweepCell(
-                key=self.cell_key(network, hour),
-                scenario=config.scenario_at(network, hour),
-                sample_sizes=(config.sample_size,),
-                trials=config.trials,
-                mode=config.mode,
-                seed=config.seed,
-                entropy_bin_width=config.entropy_bin_width,
-                seed_offsets=(f"train-{network}-{hour}", f"test-{network}-{hour}"),
-            )
-            for network in config.networks
-            for hour in config.hours
-        ]
+        shared = config.mode is CollectionMode.HYBRID
+        points = []
+        for network in config.networks:
+            for hour in config.hours:
+                per_hour = (f"train-{network}-{hour}", f"test-{network}-{hour}")
+                if shared:
+                    offsets = (f"train-{network}", f"test-{network}")
+                    noise = per_hour
+                else:
+                    offsets = per_hour
+                    noise = None
+                points.append(
+                    GridPoint(
+                        key=self.point_key(network, hour),
+                        scenario=config.scenario_at(network, hour),
+                        seed_offsets=offsets,
+                        shared_capture=shared,
+                        capture_key=f"fig8/{network}/gateway-capture",
+                        noise_offsets=noise,
+                    )
+                )
+        return GridSpec.from_points(
+            "fig8",
+            points,
+            seeds=resolve_seeds(config.seed, seeds),
+            sample_sizes=(config.sample_size,),
+            trials=config.trials,
+            mode=config.mode,
+            entropy_bin_width=config.entropy_bin_width,
+        )
 
-    def run(self, runner: "Optional[SweepRunner]" = None) -> Fig8Result:
+    def cells(self, seeds: Optional[Sequence[int]] = None) -> "List[SweepCell]":
+        """One sweep-runner cell per (network, hour, seed) grid point."""
+        return self.grid(seeds).cells()
+
+    def run(
+        self,
+        runner: "Optional[SweepRunner]" = None,
+        seeds: Optional[Sequence[int]] = None,
+        confidence: Optional[float] = None,
+    ) -> Fig8Result:
         from repro.runner import SweepRunner
 
         runner = runner if runner is not None else SweepRunner()
-        return self.assemble(runner.run(self.cells()))
+        return self.assemble(runner.run(self.cells(seeds)), seeds=seeds, confidence=confidence)
 
-    def assemble(self, report) -> Fig8Result:
+    def assemble(
+        self,
+        report,
+        seeds: Optional[Sequence[int]] = None,
+        confidence: Optional[float] = None,
+    ) -> Fig8Result:
         """Build the figure result from a sweep report containing this grid's cells."""
-        from repro.runner import DEFAULT_FEATURES
+        from repro.runner import DEFAULT_FEATURES, experiment_view
 
         config = self.config
+        resolved = resolve_seeds(config.seed, seeds)
+        view = experiment_view(report, self.grid(resolved), confidence=confidence)
         empirical: Dict[str, Dict[str, Dict[int, float]]] = {}
         theoretical: Dict[str, Dict[str, Dict[int, float]]] = {}
         ratios: Dict[str, Dict[int, float]] = {}
         utilizations: Dict[str, Dict[int, float]] = {}
+        empirical_ci: Dict[str, Dict[str, Dict[int, Tuple[float, float]]]] = {}
+        has_ci = False
+        result_confidence: Optional[float] = None
 
         for network in config.networks:
             empirical[network] = {name: {} for name in DEFAULT_FEATURES}
             theoretical[network] = {name: {} for name in DEFAULT_FEATURES}
+            empirical_ci[network] = {name: {} for name in DEFAULT_FEATURES}
             ratios[network] = {}
             utilizations[network] = {}
             for hour in config.hours:
-                cell = report[self.cell_key(network, hour)]
+                cell = view[self.point_key(network, hour)]
+                cell_ci = getattr(cell, "detection_rate_ci", None)
                 scenario = config.scenario_at(network, hour)
                 utilizations[network][hour] = scenario.cross_utilization
                 ratios[network][hour] = scenario.variance_ratio()
@@ -226,6 +289,10 @@ class Fig8Experiment:
                     empirical[network][name][hour] = cell.empirical_detection_rate[name][
                         config.sample_size
                     ]
+                    if cell_ci is not None:
+                        empirical_ci[network][name][hour] = cell_ci[name][config.sample_size]
+                        has_ci = True
+                        result_confidence = getattr(cell, "confidence", None)
                     if name == "mean":
                         theoretical[network][name][hour] = detection_rate_mean(r)
                     elif name == "variance":
@@ -242,6 +309,9 @@ class Fig8Experiment:
             theoretical_detection_rate=theoretical,
             variance_ratios=ratios,
             utilizations=utilizations,
+            empirical_ci=empirical_ci if has_ci else None,
+            n_seeds=len(resolved),
+            confidence=result_confidence,
         )
 
 

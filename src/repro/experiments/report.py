@@ -54,6 +54,41 @@ def _format_cell(value: object) -> str:
     return str(value)
 
 
+def format_interval(bounds) -> str:
+    """Render a confidence interval as ``[lower, upper]`` (``-`` when absent).
+
+    Used by the experiment reports for the per-grid-point bootstrap bands of
+    multi-seed sweeps; a missing interval (single-seed point) renders as a
+    dash so the column stays aligned.
+    """
+    if bounds is None:
+        return "-"
+    lower, upper = bounds
+    return f"[{_format_cell(float(lower))}, {_format_cell(float(upper))}]"
+
+
+def seed_suffix(n_seeds: int) -> str:
+    """Section-title suffix for aggregated multi-seed reports."""
+    return f" (mean of {n_seeds} seeds)" if n_seeds > 1 else ""
+
+
+def with_ci_column(headers, rows, index, confidence, bounds_for):
+    """Splice a bootstrap-CI column into a table at position ``index``.
+
+    ``bounds_for`` maps each original row tuple to its ``(lower, upper)``
+    interval (or ``None``).  Shared by the figure reports so the CI-column
+    rendering cannot drift between figures.
+    """
+    new_headers = list(headers)
+    new_headers.insert(index, f"ci{confidence:.0%}")
+    new_rows = []
+    for row in rows:
+        cells = list(row)
+        cells.insert(index, format_interval(bounds_for(row)))
+        new_rows.append(tuple(cells))
+    return new_headers, new_rows
+
+
 def render_experiment_report(title: str, sections: Sequence[tuple]) -> str:
     """Assemble a multi-section text report.
 
@@ -71,4 +106,10 @@ def render_experiment_report(title: str, sections: Sequence[tuple]) -> str:
     return "\n".join(lines).rstrip() + "\n"
 
 
-__all__ = ["format_table", "render_experiment_report"]
+__all__ = [
+    "format_interval",
+    "format_table",
+    "render_experiment_report",
+    "seed_suffix",
+    "with_ci_column",
+]

@@ -3,31 +3,70 @@
 The runner turns a figure's scenario grid into independent
 :class:`~repro.runner.cells.SweepCell` units, executes them in-process or
 across a :mod:`multiprocessing` pool (:class:`~repro.runner.runner.SweepRunner`),
-and memoises every computed result in a JSON-lines
+and memoises every computed result in a sharded JSON-lines
 :class:`~repro.runner.store.ResultsStore` keyed by a content hash of the cell
-configuration.  See ``docs/running.md`` for the CLI, the cache layout and how
-CI exercises warm-cache sweeps.
+configuration.  Grids are declared with :class:`~repro.runner.grid.GridSpec`
+(axis products fanned out over one or more seeds) and reduced across seeds by
+the aggregation layer (:func:`~repro.runner.grid.aggregate_cells`: mean ±
+bootstrap CI per grid point).  Hybrid grids that evaluate one gateway under
+many network conditions factor the expensive event simulation into shared,
+cacheable gateway captures (:mod:`repro.runner.capture`).  See
+``docs/running.md`` for the CLI, the cache layout and how CI exercises
+warm-cache sweeps.
 """
 
 from repro.exceptions import SweepError
+from repro.runner.capture import (
+    CaptureResult,
+    CaptureSpec,
+    hybrid_captures_from_gateway,
+    run_capture,
+)
 from repro.runner.cells import (
     DEFAULT_FEATURES,
+    KDE_BANDWIDTH_RULES,
     SCHEMA_VERSION,
     CellResult,
     SweepCell,
     run_cell,
 )
+from repro.runner.grid import (
+    SEED_TAG,
+    AggregatedCellResult,
+    AggregatedSweepReport,
+    GridPoint,
+    GridSpec,
+    aggregate_cells,
+    experiment_view,
+    seed_range,
+    split_seed_key,
+)
 from repro.runner.runner import SweepReport, SweepRunner
-from repro.runner.store import ResultsStore
+from repro.runner.store import CompactionStats, ResultsStore
 
 __all__ = [
     "DEFAULT_FEATURES",
+    "KDE_BANDWIDTH_RULES",
     "SCHEMA_VERSION",
+    "SEED_TAG",
+    "AggregatedCellResult",
+    "AggregatedSweepReport",
+    "CaptureResult",
+    "CaptureSpec",
     "CellResult",
+    "CompactionStats",
+    "GridPoint",
+    "GridSpec",
     "ResultsStore",
     "SweepCell",
     "SweepError",
     "SweepReport",
     "SweepRunner",
+    "aggregate_cells",
+    "experiment_view",
+    "hybrid_captures_from_gateway",
+    "run_capture",
     "run_cell",
+    "seed_range",
+    "split_seed_key",
 ]

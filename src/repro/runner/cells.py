@@ -12,18 +12,32 @@ cell result stays small enough to persist as one JSON line.
 Cells are content-addressed: :meth:`SweepCell.fingerprint` hashes every field
 that influences the numeric result (the scenario, sample sizes, trials, mode,
 seed, features, ...) but *not* the display ``key``, so relabelling a grid
-point does not invalidate its cache entry.
+point does not invalidate its cache entry.  Fields added after the first
+release (``capture``, ``kde_bandwidth``) enter the hash only when set, so
+stores written before they existed stay warm.
+
+A cell may reference a shared gateway capture
+(:class:`~repro.runner.capture.CaptureSpec`) — the *two-level* form used by
+hybrid grids that evaluate one gateway under many network conditions.  Such a
+cell skips the event simulation and applies its scenario's analytic network
+noise to the parent capture instead; the runner resolves (and caches) the
+parent before scheduling the children.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
-from repro.adversary.detection import evaluate_attack
+import numpy as np
+
+from repro.adversary.detection import (
+    empirical_detection_rate,
+    evaluate_attack,
+    extract_feature_samples,
+    train_classifier,
+)
 from repro.adversary.features import get_feature
 from repro.exceptions import AnalysisError, ConfigurationError
 from repro.experiments.base import (
@@ -31,6 +45,14 @@ from repro.experiments.base import (
     ScenarioConfig,
     collect_labelled_intervals,
 )
+from repro.runner.capture import (
+    CaptureResult,
+    CaptureSpec,
+    gateway_config_dict,
+    hybrid_captures_from_gateway,
+)
+from repro.runner.fingerprint import fingerprint_payload
+from repro.stats.kde import silverman_bandwidth
 from repro.stats.normality import normality_report
 
 #: Bumped whenever the cell execution or result layout changes in a way that
@@ -39,6 +61,9 @@ SCHEMA_VERSION = 1
 
 #: The paper's three feature statistics, in report order.
 DEFAULT_FEATURES: Tuple[str, ...] = ("mean", "variance", "entropy")
+
+#: KDE bandwidth rules accepted by :attr:`SweepCell.kde_bandwidth`.
+KDE_BANDWIDTH_RULES: Tuple[str, ...] = ("silverman", "scott")
 
 
 @dataclass(frozen=True)
@@ -71,6 +96,20 @@ class SweepCell:
     collect_piat_stats:
         Also compute per-class normality statistics of the test capture
         (used by Figure 4(a)).
+    capture:
+        Optional shared gateway capture this cell is a child of (hybrid mode
+        only).  The runner resolves the capture first and injects its result.
+    noise_offsets:
+        Optional per-cell tags for the hybrid network-noise streams, when
+        they must be salted differently from ``seed_offsets`` — grid points
+        that share one gateway capture (same ``seed_offsets``) use a
+        distinct noise salt per point so their noise draws stay
+        statistically independent.  Defaults to ``seed_offsets``.
+    kde_bandwidth:
+        Optional override for the adversary's KDE bandwidth: a rule name
+        (``"silverman"``/``"scott"``) or a float multiplier applied to the
+        Silverman bandwidth of the pooled training features.  ``None`` keeps
+        the default (per-class Silverman, the paper's estimator).
     """
 
     key: str
@@ -83,6 +122,9 @@ class SweepCell:
     entropy_bin_width: Optional[float] = None
     seed_offsets: Tuple[str, str] = ("train", "test")
     collect_piat_stats: bool = False
+    capture: Optional[CaptureSpec] = None
+    noise_offsets: Optional[Tuple[str, str]] = None
+    kde_bandwidth: Optional[Union[str, float]] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.key, str) or not self.key:
@@ -111,6 +153,58 @@ class SweepCell:
             raise ConfigurationError(
                 f"seed_offsets={self.seed_offsets!r} must be two distinct tags"
             )
+        if self.noise_offsets is not None:
+            object.__setattr__(
+                self, "noise_offsets", tuple(str(o) for o in self.noise_offsets)
+            )
+            if self.mode is not CollectionMode.HYBRID:
+                raise ConfigurationError(
+                    f"noise_offsets={self.noise_offsets!r} only apply to hybrid mode "
+                    f"(the other modes have no separate network-noise stage)"
+                )
+            if len(self.noise_offsets) != 2 or self.noise_offsets[0] == self.noise_offsets[1]:
+                raise ConfigurationError(
+                    f"noise_offsets={self.noise_offsets!r} must be two distinct tags"
+                )
+        if isinstance(self.kde_bandwidth, str):
+            if self.kde_bandwidth not in KDE_BANDWIDTH_RULES:
+                raise ConfigurationError(
+                    f"kde_bandwidth={self.kde_bandwidth!r} is not a bandwidth rule; "
+                    f"choose one of {KDE_BANDWIDTH_RULES} or a positive float multiplier"
+                )
+        elif self.kde_bandwidth is not None and not self.kde_bandwidth > 0.0:
+            raise ConfigurationError(
+                f"kde_bandwidth={self.kde_bandwidth!r} must be a positive multiplier"
+            )
+        if self.capture is not None:
+            self._validate_capture(self.capture)
+
+    def _validate_capture(self, capture: CaptureSpec) -> None:
+        """A child cell must be consistent with its parent capture."""
+        if self.mode is not CollectionMode.HYBRID:
+            raise ConfigurationError(
+                f"cell {self.key!r}: a shared gateway capture requires hybrid mode, "
+                f"got {self.mode.value!r}"
+            )
+        if capture.seed != self.seed:
+            raise ConfigurationError(
+                f"cell {self.key!r}: capture seed {capture.seed!r} != cell seed {self.seed!r}"
+            )
+        if capture.seed_offsets != self.seed_offsets:
+            raise ConfigurationError(
+                f"cell {self.key!r}: capture seed_offsets {capture.seed_offsets!r} != "
+                f"cell seed_offsets {self.seed_offsets!r}"
+            )
+        if capture.n_intervals < self.intervals_per_class + 1:
+            raise ConfigurationError(
+                f"cell {self.key!r}: capture holds {capture.n_intervals} intervals per "
+                f"class; the cell needs {self.intervals_per_class + 1}"
+            )
+        if gateway_config_dict(capture.scenario) != gateway_config_dict(self.scenario):
+            raise ConfigurationError(
+                f"cell {self.key!r}: the capture's gateway configuration differs from "
+                f"the cell scenario's (policy/rates/disturbance/packet size/warmup)"
+            )
 
     @property
     def intervals_per_class(self) -> int:
@@ -118,12 +212,17 @@ class SweepCell:
         return max(self.sample_sizes) * self.trials
 
     def config_dict(self) -> Dict[str, Any]:
-        """The result-affecting configuration as plain JSON-able data."""
+        """The result-affecting configuration as plain JSON-able data.
+
+        Optional fields introduced after the first release are serialised
+        only when set, so fingerprints of plain cells — and therefore every
+        record in existing stores — are unchanged by their existence.
+        """
         scenario = asdict(self.scenario)
         # The policy's name is a display label (report text only); keep it out
         # of the fingerprint so renaming a policy does not cold the cache.
         scenario["policy"].pop("name", None)
-        return {
+        config = {
             "schema": SCHEMA_VERSION,
             "scenario": scenario,
             "sample_sizes": list(self.sample_sizes),
@@ -135,11 +234,17 @@ class SweepCell:
             "seed_offsets": list(self.seed_offsets),
             "collect_piat_stats": self.collect_piat_stats,
         }
+        if self.capture is not None:
+            config["capture"] = self.capture.config_dict()
+        if self.noise_offsets is not None:
+            config["noise_offsets"] = list(self.noise_offsets)
+        if self.kde_bandwidth is not None:
+            config["kde_bandwidth"] = self.kde_bandwidth
+        return config
 
     def fingerprint(self) -> str:
         """Content hash of :meth:`config_dict`; the cell's cache key."""
-        canonical = json.dumps(self.config_dict(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return fingerprint_payload(self.config_dict())
 
 
 @dataclass
@@ -199,12 +304,58 @@ class CellResult:
         )
 
 
-def run_cell(cell: SweepCell) -> CellResult:
+def _measure_detection_rate(
+    cell: SweepCell,
+    train_intervals: Dict[str, np.ndarray],
+    test_intervals: Dict[str, np.ndarray],
+    feature,
+    sample_size: int,
+) -> float:
+    """One (feature, sample size) point, honouring the cell's bandwidth override."""
+    if cell.kde_bandwidth is None:
+        result = evaluate_attack(
+            train_intervals,
+            test_intervals,
+            feature,
+            sample_size=sample_size,
+            max_samples_per_class=cell.trials,
+        )
+        return float(result.detection_rate)
+    if isinstance(cell.kde_bandwidth, str):
+        bandwidth: Union[str, float] = cell.kde_bandwidth
+    else:
+        # Numeric overrides are multiples of the Silverman bandwidth of the
+        # pooled training features — a scale that survives feature rescaling.
+        pooled = np.concatenate(
+            [
+                extract_feature_samples(
+                    train_intervals[label], feature, sample_size, max_samples=cell.trials
+                )
+                for label in sorted(train_intervals)
+            ]
+        )
+        bandwidth = float(cell.kde_bandwidth) * silverman_bandwidth(pooled)
+    classifier = train_classifier(
+        train_intervals,
+        feature,
+        sample_size,
+        max_samples_per_class=cell.trials,
+        bandwidth=bandwidth,
+    )
+    result = empirical_detection_rate(
+        classifier, test_intervals, feature, sample_size, max_samples_per_class=cell.trials
+    )
+    return float(result.detection_rate)
+
+
+def run_cell(cell: SweepCell, capture: Optional[CaptureResult] = None) -> CellResult:
     """Execute one cell: capture, attack, summarise.
 
     Pure function of the cell's fields — the same cell always produces the
     same :class:`CellResult` (up to ``elapsed_seconds``), which is what makes
-    both the process-pool fan-out and the on-disk cache sound.
+    both the process-pool fan-out and the on-disk cache sound.  A two-level
+    cell (``cell.capture`` set) additionally requires the parent capture's
+    result; the runner resolves and injects it.
     """
     start = time.perf_counter()
     try:
@@ -215,32 +366,53 @@ def run_cell(cell: SweepCell) -> CellResult:
         raise ConfigurationError(f"cell {cell.key!r}: {exc}") from exc
 
     train_offset, test_offset = cell.seed_offsets
-    train = collect_labelled_intervals(
-        cell.scenario,
-        cell.intervals_per_class,
-        mode=cell.mode,
-        seed=cell.seed,
-        seed_offset=train_offset,
-    )
-    test = collect_labelled_intervals(
-        cell.scenario,
-        cell.intervals_per_class,
-        mode=cell.mode,
-        seed=cell.seed,
-        seed_offset=test_offset,
-    )
+    if cell.capture is not None:
+        if capture is None:
+            raise ConfigurationError(
+                f"cell {cell.key!r} is a two-level cell; the result of its gateway "
+                f"capture {cell.capture.key!r} must be supplied"
+            )
+        if capture.fingerprint != cell.capture.fingerprint():
+            raise ConfigurationError(
+                f"cell {cell.key!r}: supplied capture {capture.key!r} does not match "
+                f"the cell's capture spec"
+            )
+        by_offset = hybrid_captures_from_gateway(
+            cell.scenario,
+            cell.intervals_per_class,
+            cell.seed,
+            cell.seed_offsets,
+            capture,
+            noise_offsets=cell.noise_offsets,
+        )
+        train, test = by_offset[train_offset], by_offset[test_offset]
+    else:
+        noise_offsets = (
+            cell.noise_offsets if cell.noise_offsets is not None else (None, None)
+        )
+        train = collect_labelled_intervals(
+            cell.scenario,
+            cell.intervals_per_class,
+            mode=cell.mode,
+            seed=cell.seed,
+            seed_offset=train_offset,
+            noise_offset=noise_offsets[0],
+        )
+        test = collect_labelled_intervals(
+            cell.scenario,
+            cell.intervals_per_class,
+            mode=cell.mode,
+            seed=cell.seed,
+            seed_offset=test_offset,
+            noise_offset=noise_offsets[1],
+        )
 
     empirical: Dict[str, Dict[int, float]] = {name: {} for name in features}
     for name, feature in features.items():
         for n in cell.sample_sizes:
-            result = evaluate_attack(
-                train.intervals,
-                test.intervals,
-                feature,
-                sample_size=n,
-                max_samples_per_class=cell.trials,
+            empirical[name][n] = _measure_detection_rate(
+                cell, train.intervals, test.intervals, feature, n
             )
-            empirical[name][n] = float(result.detection_rate)
 
     piat_stats: Dict[str, Dict[str, float]] = {}
     if cell.collect_piat_stats:
@@ -266,6 +438,7 @@ def run_cell(cell: SweepCell) -> CellResult:
 
 __all__ = [
     "DEFAULT_FEATURES",
+    "KDE_BANDWIDTH_RULES",
     "SCHEMA_VERSION",
     "SweepCell",
     "CellResult",

@@ -1,0 +1,16 @@
+"""Content addressing shared by sweep cells and gateway captures."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+
+def fingerprint_payload(payload: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON encoding of a configuration dict."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+__all__ = ["fingerprint_payload"]

@@ -4,16 +4,25 @@
 objects, fanning cache misses out over a :mod:`multiprocessing` worker pool
 and streaming every computed result into an optional
 :class:`~repro.runner.store.ResultsStore` so that repeated sweeps skip the
-simulation entirely.
+simulation entirely.  Two-level cells (a shared gateway capture feeding
+per-scenario children, :mod:`repro.runner.capture`) are resolved in a first
+pass: each distinct capture fingerprint is served from the store or simulated
+once, then injected into every child that references it.
 
 Guarantees:
 
 * **Determinism** — a cell is a pure function of its configuration (per-cell
   seeding via :class:`repro.sim.random.RandomStreams`), so the same grid and
   seeds produce bit-identical results at any ``jobs`` count, warm or cold.
-* **Loud failure** — a cell that raises aborts the sweep with a
-  :class:`~repro.exceptions.SweepError` naming the cell and carrying the
-  worker traceback; the pool is torn down rather than left to hang.
+* **Loud failure** — a cell that keeps failing (or times out) aborts the
+  sweep with a :class:`~repro.exceptions.SweepError` naming the cell and
+  carrying the worker traceback; the pool is torn down rather than left to
+  hang.
+* **Bounded retries** — ``retries=N`` re-runs a failing or timed-out cell up
+  to ``N`` extra times before aborting; ``timeout=T`` bounds each attempt's
+  wall clock.  A timed-out attempt cannot be cancelled cooperatively, so the
+  pool is recycled: still-running innocent cells are requeued (at no retry
+  cost) and restart in a fresh pool.
 * **Single-writer cache** — only the parent process appends to the store, so
   workers never contend for the results file.
 """
@@ -24,37 +33,69 @@ import multiprocessing
 import sys
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.exceptions import ConfigurationError, SweepError
+from repro.runner.capture import CaptureResult, CaptureSpec, run_capture
 from repro.runner.cells import CellResult, SweepCell, run_cell
 from repro.runner.store import ResultsStore
+
+#: A schedulable unit of work: a cell (with its optional injected capture
+#: result) or a gateway capture.  Plain tuples keep the pool payload boring
+#: and picklable.
+_Task = Union[
+    Tuple[str, SweepCell, Optional[CaptureResult]],  # ("cell", cell, capture)
+    Tuple[str, CaptureSpec],  # ("capture", spec)
+]
+
+#: Resolved capture results shared with ``fork``-started workers by
+#: copy-on-write inheritance.  A capture payload is a few hundred KB of
+#: gateway intervals; embedding it in every child task would re-pickle it
+#: once per ``apply_async`` call (24× per network for fig8), so on fork
+#: platforms the task carries ``None`` and the worker looks the result up
+#: here.  Populated by :meth:`SweepRunner.run` before any pool is created
+#: and cleared when the run finishes.  ``spawn`` workers do not inherit
+#: parent globals, so there the capture stays embedded in the task.
+_FORKED_CAPTURES: Dict[str, CaptureResult] = {}
 
 
 @dataclass(frozen=True)
 class _CellFailure:
     """Picklable failure marker returned by a worker instead of raising.
 
-    Raising inside ``Pool.imap_unordered`` would surface the exception without
-    the cell identity (and an unpicklable exception would deadlock the pool),
-    so workers catch everything and let the parent raise a ``SweepError``.
+    Raising inside the pool would surface the exception without the cell
+    identity (and an unpicklable exception would deadlock the pool), so
+    workers catch everything and let the parent raise a ``SweepError``.
     """
 
     key: str
     error: str
     worker_traceback: str
+    unit: str = "cell"
 
 
-def _execute(cell: SweepCell) -> Union[CellResult, _CellFailure]:
-    """Pool entry point: run one cell, converting any exception to a marker."""
+def _task_key(task: _Task) -> str:
+    return task[1].key
+
+
+def _execute_task(task: _Task) -> Union[CellResult, CaptureResult, _CellFailure]:
+    """Pool entry point: run one task, converting any exception to a marker."""
+    kind = task[0]
     try:
-        return run_cell(cell)
+        if kind == "capture":
+            return run_capture(task[1])
+        cell, capture = task[1], task[2]
+        if capture is None and cell.capture is not None:
+            capture = _FORKED_CAPTURES.get(cell.capture.fingerprint())
+        return run_cell(cell, capture=capture)
     except Exception as exc:
         return _CellFailure(
-            key=cell.key,
+            key=_task_key(task),
             error=f"{type(exc).__name__}: {exc}",
             worker_traceback=traceback.format_exc(),
+            unit="gateway capture" if kind == "capture" else "cell",
         )
 
 
@@ -65,12 +106,16 @@ class SweepReport:
     ``hits`` counts cells served from the persistent store, ``misses`` cells
     actually simulated, and ``deduplicated`` cells that shared a fingerprint
     with another cell in the same sweep and rode along with its result.
+    ``capture_hits`` / ``captures_simulated`` account the shared gateway
+    captures of two-level cells the same way.
     """
 
     results: Dict[str, CellResult] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
     deduplicated: int = 0
+    capture_hits: int = 0
+    captures_simulated: int = 0
     elapsed_seconds: float = 0.0
 
     def __getitem__(self, key: str) -> CellResult:
@@ -81,6 +126,11 @@ class SweepReport:
         line = f"{len(self.results)} cells, {self.misses} simulated, {self.hits} cache hits"
         if self.deduplicated:
             line += f", {self.deduplicated} deduplicated"
+        if self.captures_simulated or self.capture_hits:
+            line += (
+                f", {self.captures_simulated} gateway captures simulated, "
+                f"{self.capture_hits} capture cache hits"
+            )
         return line
 
 
@@ -104,7 +154,18 @@ class SweepRunner:
         initialisation is unsafe.
     progress:
         Optional callable invoked with one line per completed cell.
+    timeout:
+        Optional per-attempt wall-clock bound in seconds.  A cell (or
+        capture) still running past it counts as a failed attempt.  Because a
+        stuck worker cannot be reclaimed, enforcing a timeout always uses a
+        worker pool, even at ``jobs=1``.
+    retries:
+        Extra attempts granted to a failing or timed-out cell before the
+        sweep aborts with a :class:`~repro.exceptions.SweepError`.
     """
+
+    #: Seconds between polls of outstanding pool results.
+    _POLL_INTERVAL = 0.02
 
     def __init__(
         self,
@@ -112,9 +173,15 @@ class SweepRunner:
         store: Optional[ResultsStore] = None,
         mp_context: Optional[str] = None,
         progress: Optional[Callable[[str], None]] = None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs={jobs!r} must be >= 1")
+        if timeout is not None and not timeout > 0.0:
+            raise ConfigurationError(f"timeout={timeout!r} must be positive seconds")
+        if retries < 0:
+            raise ConfigurationError(f"retries={retries!r} must be >= 0")
         self.jobs = jobs
         self.store = store
         if mp_context is None:
@@ -124,12 +191,16 @@ class SweepRunner:
             mp_context = "fork" if sys.platform == "linux" else "spawn"
         self._mp_context = mp_context
         self._progress = progress
+        self.timeout = timeout
+        self.retries = retries
         # Accumulated across run() calls so a multi-figure sweep can print one
         # overall summary (the CLI's ``sweep summary:`` line).
         self.cells_seen = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.cells_deduplicated = 0
+        self.capture_hits = 0
+        self.captures_simulated = 0
 
     # ------------------------------------------------------------------- api
     def run(self, cells: Iterable[SweepCell]) -> SweepReport:
@@ -166,20 +237,40 @@ class SweepRunner:
                 pending[fingerprint] = cell
         store_fingerprints = set(resolved)
 
-        for outcome in self._compute(list(pending.values())):
-            if isinstance(outcome, _CellFailure):
-                raise SweepError(
-                    f"sweep cell {outcome.key!r} failed: {outcome.error}\n"
-                    f"--- worker traceback ---\n{outcome.worker_traceback}"
+        captures = self._resolve_captures(list(pending.values()))
+        # Forked workers (and the inline path) read captures from the shared
+        # module-level map; spawn workers need the payload inside the task.
+        share_by_fork = self._mp_context == "fork"
+        tasks: List[_Task] = []
+        for cell in pending.values():
+            injected = None
+            if cell.capture is not None:
+                fingerprint = cell.capture.fingerprint()
+                if share_by_fork:
+                    _FORKED_CAPTURES[fingerprint] = captures[fingerprint][0]
+                else:
+                    injected = captures[fingerprint][0]
+            tasks.append(("cell", cell, injected))
+
+        try:
+            for outcome in self._fanout(tasks):
+                if isinstance(outcome, _CellFailure):
+                    raise SweepError(
+                        f"sweep cell {outcome.key!r} failed: {outcome.error}\n"
+                        f"--- worker traceback ---\n{outcome.worker_traceback}"
+                    )
+                resolved[outcome.fingerprint] = outcome
+                if self.store is not None:
+                    self.store.put(
+                        outcome.fingerprint,
+                        pending[outcome.fingerprint].config_dict(),
+                        outcome.to_json_dict(),
+                    )
+                self._report(
+                    f"cell {outcome.key}: simulated in {outcome.elapsed_seconds:.2f}s"
                 )
-            resolved[outcome.fingerprint] = outcome
-            if self.store is not None:
-                self.store.put(
-                    outcome.fingerprint,
-                    pending[outcome.fingerprint].config_dict(),
-                    outcome.to_json_dict(),
-                )
-            self._report(f"cell {outcome.key}: simulated in {outcome.elapsed_seconds:.2f}s")
+        finally:
+            _FORKED_CAPTURES.clear()
 
         hits = misses = deduplicated = 0
         for cell in cell_list:
@@ -190,10 +281,14 @@ class SweepRunner:
                 misses += 1
             else:
                 deduplicated += 1
+        run_hits = sum(1 for _, from_cache in captures.values() if from_cache)
+        run_captures = sum(1 for _, from_cache in captures.values() if not from_cache)
         self.cells_seen += len(cell_list)
         self.cache_hits += hits
         self.cache_misses += misses
         self.cells_deduplicated += deduplicated
+        self.capture_hits += run_hits
+        self.captures_simulated += run_captures
 
         results = {
             cell.key: replace(resolved[assignments[cell.key]], key=cell.key)
@@ -204,6 +299,8 @@ class SweepRunner:
             hits=hits,
             misses=misses,
             deduplicated=deduplicated,
+            capture_hits=run_hits,
+            captures_simulated=run_captures,
             elapsed_seconds=time.perf_counter() - start,
         )
 
@@ -215,24 +312,179 @@ class SweepRunner:
         )
         if self.cells_deduplicated:
             line += f", {self.cells_deduplicated} deduplicated"
+        if self.captures_simulated or self.capture_hits:
+            line += (
+                f", {self.captures_simulated} gateway captures simulated, "
+                f"{self.capture_hits} capture cache hits"
+            )
         return line + f", jobs={self.jobs}"
 
     # -------------------------------------------------------------- internals
-    def _compute(
+    def _resolve_captures(
         self, cells: List[SweepCell]
-    ) -> Iterable[Union[CellResult, _CellFailure]]:
-        if not cells:
+    ) -> Dict[str, Tuple[CaptureResult, bool]]:
+        """Serve or simulate every distinct gateway capture the cells need.
+
+        Returns fingerprint → (result, served_from_store).  Each distinct
+        capture is computed at most once per sweep and persisted like a cell
+        result (``kind="capture"``), so later sweeps — and other cells of
+        this one — reuse it without touching the event simulator.
+        """
+        specs: Dict[str, CaptureSpec] = {}
+        for cell in cells:
+            if cell.capture is not None:
+                specs.setdefault(cell.capture.fingerprint(), cell.capture)
+        if not specs:
+            return {}
+
+        resolved: Dict[str, Tuple[CaptureResult, bool]] = {}
+        to_run: List[CaptureSpec] = []
+        for fingerprint, spec in specs.items():
+            record = (
+                self.store.get(fingerprint, kind="capture")
+                if self.store is not None
+                else None
+            )
+            if record is not None:
+                resolved[fingerprint] = (
+                    CaptureResult.from_json_dict(
+                        spec.key, fingerprint, record["result"], from_cache=True
+                    ),
+                    True,
+                )
+                self._report(f"gateway capture {spec.key}: cache hit")
+            else:
+                to_run.append(spec)
+
+        for outcome in self._fanout([("capture", spec) for spec in to_run]):
+            if isinstance(outcome, _CellFailure):
+                raise SweepError(
+                    f"{outcome.unit} {outcome.key!r} failed: {outcome.error}\n"
+                    f"--- worker traceback ---\n{outcome.worker_traceback}"
+                )
+            resolved[outcome.fingerprint] = (outcome, False)
+            if self.store is not None:
+                self.store.put(
+                    outcome.fingerprint,
+                    specs[outcome.fingerprint].config_dict(),
+                    outcome.to_json_dict(),
+                    kind="capture",
+                )
+            self._report(
+                f"gateway capture {outcome.key}: simulated in {outcome.elapsed_seconds:.2f}s"
+            )
+        return resolved
+
+    def _fanout(
+        self, tasks: List[_Task]
+    ) -> Iterator[Union[CellResult, CaptureResult, _CellFailure]]:
+        """Execute tasks with bounded retries and an optional per-attempt timeout.
+
+        Yields one terminal outcome per task, in completion order.  Inline
+        execution (no pool) is used when there is nothing to parallelise and
+        no timeout to enforce; otherwise tasks run under a worker pool with
+        at most ``jobs`` in flight, so a per-attempt clock can start the
+        moment a task is actually handed to a worker.
+        """
+        if not tasks:
             return
-        if self.jobs == 1 or len(cells) == 1:
-            for cell in cells:
-                yield _execute(cell)
+        attempts: Dict[int, int] = {i: 1 for i in range(len(tasks))}
+        queue: deque = deque(enumerate(tasks))
+        max_attempts = self.retries + 1
+
+        use_pool = self.timeout is not None or (self.jobs > 1 and len(tasks) > 1)
+        if not use_pool:
+            while queue:
+                index, task = queue.popleft()
+                outcome = _execute_task(task)
+                if isinstance(outcome, _CellFailure) and attempts[index] < max_attempts:
+                    attempts[index] += 1
+                    self._report(
+                        f"{outcome.unit} {outcome.key}: failed, retrying "
+                        f"(attempt {attempts[index]}/{max_attempts})"
+                    )
+                    queue.append((index, task))
+                    continue
+                yield outcome
             return
+
         context = multiprocessing.get_context(self._mp_context)
-        workers = min(self.jobs, len(cells))
-        # The context manager terminates the pool on error, so a failing cell
-        # aborts the sweep instead of hanging the remaining futures.
-        with context.Pool(processes=workers) as pool:
-            yield from pool.imap_unordered(_execute, cells)
+        while queue:
+            workers = min(self.jobs, len(queue))
+            pool = context.Pool(processes=workers)
+            recycle_pool = False
+            try:
+                in_flight: Dict[int, Tuple] = {}  # index -> (async result, started, task)
+                while queue or in_flight:
+                    while queue and len(in_flight) < workers:
+                        index, task = queue.popleft()
+                        in_flight[index] = (
+                            pool.apply_async(_execute_task, (task,)),
+                            time.monotonic(),
+                            task,
+                        )
+                    progressed = False
+                    for index in [i for i, (a, _, _) in in_flight.items() if a.ready()]:
+                        async_result, _, task = in_flight.pop(index)
+                        outcome = async_result.get()
+                        progressed = True
+                        if (
+                            isinstance(outcome, _CellFailure)
+                            and attempts[index] < max_attempts
+                        ):
+                            attempts[index] += 1
+                            self._report(
+                                f"{outcome.unit} {outcome.key}: failed, retrying "
+                                f"(attempt {attempts[index]}/{max_attempts})"
+                            )
+                            queue.append((index, task))
+                        else:
+                            yield outcome
+                    if self.timeout is not None:
+                        now = time.monotonic()
+                        expired = [
+                            i
+                            for i, (a, started, _) in in_flight.items()
+                            if now - started > self.timeout
+                        ]
+                        if expired:
+                            # The stuck workers cannot be reclaimed: recycle
+                            # the whole pool.  Expired tasks are charged an
+                            # attempt; innocent in-flight tasks are requeued
+                            # free and restart in the fresh pool.
+                            for index in expired:
+                                _, _, task = in_flight.pop(index)
+                                unit = "gateway capture" if task[0] == "capture" else "cell"
+                                if attempts[index] < max_attempts:
+                                    attempts[index] += 1
+                                    self._report(
+                                        f"{unit} {_task_key(task)}: timed out after "
+                                        f"{self.timeout:g}s, retrying "
+                                        f"(attempt {attempts[index]}/{max_attempts})"
+                                    )
+                                    queue.append((index, task))
+                                else:
+                                    yield _CellFailure(
+                                        key=_task_key(task),
+                                        error=(
+                                            f"timed out after {self.timeout:g}s "
+                                            f"({max_attempts} attempt(s))"
+                                        ),
+                                        worker_traceback="(worker terminated on timeout)",
+                                        unit=unit,
+                                    )
+                            for index, (_, _, task) in in_flight.items():
+                                queue.append((index, task))
+                            in_flight.clear()
+                            recycle_pool = True
+                            break
+                    if not progressed and in_flight:
+                        time.sleep(self._POLL_INTERVAL)
+                if not recycle_pool:
+                    return
+            finally:
+                pool.terminate()
+                pool.join()
 
     def _report(self, line: str) -> None:
         if self._progress is not None:

@@ -1,36 +1,78 @@
-"""Persistent sweep results: an append-only JSON-lines store.
+"""Persistent sweep results: a sharded, append-only JSON-lines store.
 
-Layout: one ``results.jsonl`` file under the store's root directory.  Each
-line is a self-contained record::
+Layout: one JSON-lines file per fingerprint, sharded by the first two hex
+characters of the fingerprint under the store's root directory::
 
-    {"schema": 1, "fingerprint": "<sha256>", "config": {...}, "result": {...}}
+    <root>/
+    ├── ab/
+    │   ├── abcd0…e1.jsonl     # every record ever written for this fingerprint
+    │   └── ab9f3…77.jsonl
+    ├── c0/
+    │   └── c04d1…38.jsonl
+    └── results.jsonl          # optional legacy flat file (read-only)
 
-``fingerprint`` is the content hash of the cell configuration
+Each line is a self-contained record::
+
+    {"schema": 1, "kind": "cell", "fingerprint": "<sha256>", "config": {...}, "result": {...}}
+
+``fingerprint`` is the content hash of the cell (or capture) configuration
 (:meth:`repro.runner.cells.SweepCell.fingerprint`); ``config`` is the full
 configuration dict kept alongside for auditability (a record can be traced
 back to its scenario without the code that produced it); ``result`` is the
-:meth:`repro.runner.cells.CellResult.to_json_dict` payload.
+:meth:`repro.runner.cells.CellResult.to_json_dict` (or
+:meth:`repro.runner.capture.CaptureResult.to_json_dict`) payload; ``kind``
+distinguishes ordinary sweep cells from shared gateway captures (absent on
+legacy records, which are all cells).
+
+Sharding keeps lookups O(1) file reads — a warm sweep never loads the whole
+store — and keeps any one directory small enough for ordinary tooling once
+stores grow to many thousands of records.  Stores written by older versions
+as a single flat ``results.jsonl`` remain transparently readable: shard files
+take precedence, the flat file is the fallback.  :meth:`compact` migrates the
+flat file into shards and drops superseded duplicate records.
 
 The format is deliberately boring: appends are a single ``write`` call, a
 half-written last line (from a killed run) is skipped on load, duplicate
-fingerprints resolve to the *last* record, and the file diffs/merges cleanly
+fingerprints resolve to the *last* record, and the files diff/merge cleanly
 enough to commit a small fixture store for CI warm-cache runs.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.exceptions import ConfigurationError
 from repro.runner.cells import SCHEMA_VERSION
+
+#: Fingerprints become file names; restrict them to boring hash-like tokens.
+_FINGERPRINT_RE = re.compile(r"[0-9a-zA-Z]{3,128}")
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """Outcome of :meth:`ResultsStore.compact`."""
+
+    records_kept: int
+    superseded_dropped: int
+    legacy_migrated: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.records_kept} records kept, "
+            f"{self.superseded_dropped} superseded duplicates dropped, "
+            f"{self.legacy_migrated} legacy records migrated into shards"
+        )
 
 
 class ResultsStore:
     """A directory-backed cache of cell results, keyed by config fingerprint."""
 
-    FILENAME = "results.jsonl"
+    LEGACY_FILENAME = "results.jsonl"
 
     def __init__(self, root: Union[str, Path]) -> None:
         self._root = Path(root)
@@ -39,7 +81,8 @@ class ResultsStore:
                 f"results store root {str(self._root)!r} exists and is not a directory"
             )
         self._index: Dict[str, Dict[str, Any]] = {}
-        self._loaded = False
+        self._legacy_index: Dict[str, Dict[str, Any]] = {}
+        self._legacy_loaded = False
 
     # ----------------------------------------------------------------- layout
     @property
@@ -48,26 +91,41 @@ class ResultsStore:
         return self._root
 
     @property
-    def path(self) -> Path:
-        """The JSON-lines file holding every record."""
-        return self._root / self.FILENAME
+    def legacy_path(self) -> Path:
+        """The flat JSON-lines file written by pre-sharding versions."""
+        return self._root / self.LEGACY_FILENAME
+
+    def shard_path(self, fingerprint: str) -> Path:
+        """The shard file holding every record for ``fingerprint``."""
+        self._check_fingerprint(fingerprint)
+        return self._root / fingerprint[:2] / f"{fingerprint}.jsonl"
+
+    @staticmethod
+    def _check_fingerprint(fingerprint: str) -> None:
+        if not isinstance(fingerprint, str) or not _FINGERPRINT_RE.fullmatch(fingerprint):
+            raise ConfigurationError(
+                f"fingerprint {fingerprint!r} is not a hash-like token"
+            )
 
     # ------------------------------------------------------------------ index
-    def _load(self) -> None:
-        if self._loaded:
-            return
-        self._loaded = True
-        if not self.path.exists():
-            return
-        for line in self.path.read_text(encoding="utf-8").splitlines():
+    @staticmethod
+    def _read_records(path: Path) -> List[Dict[str, Any]]:
+        """Every valid record in ``path``, in file order.
+
+        Blank lines, truncated final lines (killed writers) and records with a
+        foreign schema version are skipped; complete records before them are
+        still usable.
+        """
+        records: List[Dict[str, Any]] = []
+        if not path.exists():
+            return records
+        for line in path.read_text(encoding="utf-8").splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                # A crashed writer can leave a truncated final line; every
-                # complete record before it is still usable.
                 continue
             if (
                 isinstance(record, dict)
@@ -75,48 +133,200 @@ class ResultsStore:
                 and isinstance(record.get("fingerprint"), str)
                 and isinstance(record.get("result"), dict)
             ):
-                self._index[record["fingerprint"]] = record
+                records.append(record)
+        return records
 
-    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
-        """The record for ``fingerprint``, or ``None`` on a cache miss."""
-        self._load()
-        return self._index.get(fingerprint)
+    def _load_legacy(self) -> None:
+        if self._legacy_loaded:
+            return
+        self._legacy_loaded = True
+        for record in self._read_records(self.legacy_path):
+            self._legacy_index[record["fingerprint"]] = record
+
+    def get(self, fingerprint: str, kind: str = "cell") -> Optional[Dict[str, Any]]:
+        """The record for ``fingerprint``, or ``None`` on a cache miss.
+
+        Shard files take precedence over the legacy flat file; within a file
+        the last record wins.  ``kind`` filters out records of the other
+        record family (legacy records carry no ``kind`` and count as cells).
+        """
+        record = self._index.get(fingerprint)
+        if record is None:
+            try:
+                shard = self.shard_path(fingerprint)
+            except ConfigurationError:
+                shard = None
+            if shard is not None and shard.exists():
+                records = [r for r in self._read_records(shard) if r["fingerprint"] == fingerprint]
+                if records:
+                    record = records[-1]
+                    self._index[fingerprint] = record
+        if record is None:
+            self._load_legacy()
+            record = self._legacy_index.get(fingerprint)
+        if record is None or record.get("kind", "cell") != kind:
+            return None
+        return record
 
     def put(
         self,
         fingerprint: str,
         config: Dict[str, Any],
         result: Dict[str, Any],
+        kind: str = "cell",
     ) -> None:
-        """Append one record and index it."""
-        self._load()
+        """Append one record to its shard file and index it."""
         record = {
             "schema": SCHEMA_VERSION,
+            "kind": kind,
             "fingerprint": fingerprint,
             "config": config,
             "result": result,
         }
-        self._root.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
+        path = self.shard_path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._index[fingerprint] = record
 
+    # ------------------------------------------------------------- compaction
+    def _shard_files(self) -> List[Path]:
+        if not self._root.is_dir():
+            return []
+        return sorted(
+            path
+            for path in self._root.glob("??/*.jsonl")
+            if path.is_file()
+        )
+
+    @staticmethod
+    def _count_data_lines(path: Path) -> int:
+        return sum(1 for line in path.read_text(encoding="utf-8").splitlines() if line.strip())
+
+    def compact(self) -> CompactionStats:
+        """Drop superseded duplicates and fold the legacy flat file into shards.
+
+        Every shard file is rewritten to its last (winning) record, legacy
+        records without a shard are migrated into one, and the legacy flat
+        file is removed.  The store's observable contents are unchanged —
+        and so are records this code version cannot interpret: a file
+        containing foreign-schema or partial lines (e.g. a store restored
+        from a cache written by a different ``SCHEMA_VERSION``) is left
+        exactly as it is, so a rollback still finds its data.
+        """
+        superseded = 0
+        kept = 0
+        for path in self._shard_files():
+            records = self._read_records(path)
+            if len(records) != self._count_data_lines(path):
+                # Foreign-schema or truncated lines present: not ours to drop.
+                kept += len({record["fingerprint"] for record in records})
+                continue
+            if not records:
+                path.unlink()
+                continue
+            last_by_fingerprint: Dict[str, Dict[str, Any]] = {}
+            for record in records:
+                last_by_fingerprint[record["fingerprint"]] = record
+            superseded += len(records) - len(last_by_fingerprint)
+            kept += len(last_by_fingerprint)
+            if len(records) != len(last_by_fingerprint):
+                lines = [
+                    json.dumps(record, sort_keys=True)
+                    for record in last_by_fingerprint.values()
+                ]
+                # Rewrite atomically: a crash mid-compaction must never turn a
+                # cached fingerprint into a miss (the store's crash-tolerance
+                # contract covers compaction too).
+                scratch = path.with_suffix(".jsonl.tmp")
+                scratch.write_text("\n".join(lines) + "\n", encoding="utf-8")
+                os.replace(scratch, path)
+
+        migrated = 0
+        if self.legacy_path.exists():
+            legacy_records = self._read_records(self.legacy_path)
+            foreign_lines = self._count_data_lines(self.legacy_path) - len(legacy_records)
+            last_by_fingerprint = {}
+            for record in legacy_records:
+                last_by_fingerprint[record["fingerprint"]] = record
+            superseded += len(legacy_records) - len(last_by_fingerprint)
+            unmigratable = 0
+            for fingerprint, record in last_by_fingerprint.items():
+                try:
+                    self._check_fingerprint(fingerprint)
+                except ConfigurationError:
+                    unmigratable += 1  # not a shardable token; keep the flat file
+                    continue
+                if self.shard_path(fingerprint).exists():
+                    superseded += 1  # a shard record supersedes the legacy one
+                    continue
+                self.put(
+                    fingerprint,
+                    record.get("config", {}),
+                    record["result"],
+                    kind=record.get("kind", "cell"),
+                )
+                migrated += 1
+                kept += 1
+            if unmigratable == 0 and foreign_lines == 0:
+                self.legacy_path.unlink()
+                self._legacy_index.clear()
+                self._legacy_loaded = True
+        return CompactionStats(
+            records_kept=kept, superseded_dropped=superseded, legacy_migrated=migrated
+        )
+
     # -------------------------------------------------------------- protocols
     def fingerprints(self) -> Iterator[str]:
-        """All cached fingerprints (insertion order of the file)."""
-        self._load()
-        return iter(self._index)
+        """All cached fingerprints (shards in path order, then legacy-only).
+
+        Each shard is parsed at most once per store instance (the winning
+        record is cached in the in-memory index), so repeated listings of a
+        large store cost one directory scan plus dictionary lookups.
+        """
+        seen: List[str] = []
+        seen_set = set()
+        for path in self._shard_files():
+            fingerprint = path.stem
+            if fingerprint in seen_set:
+                continue
+            record = self._index.get(fingerprint)
+            if record is None:
+                records = [
+                    r for r in self._read_records(path) if r["fingerprint"] == fingerprint
+                ]
+                if records:
+                    record = records[-1]
+                    self._index[fingerprint] = record
+            if record is not None:
+                seen.append(fingerprint)
+                seen_set.add(fingerprint)
+        self._load_legacy()
+        for fingerprint in self._legacy_index:
+            if fingerprint in seen_set:
+                continue
+            try:
+                shadowed = self.shard_path(fingerprint).exists()
+            except ConfigurationError:
+                # Not a shardable token (hand-edited/foreign record); it can
+                # only live in the flat file, which compact() also preserves.
+                shadowed = False
+            if not shadowed:
+                seen.append(fingerprint)
+                seen_set.add(fingerprint)
+        return iter(seen)
 
     def __contains__(self, fingerprint: str) -> bool:
-        self._load()
-        return fingerprint in self._index
+        return (
+            self.get(fingerprint, kind="cell") is not None
+            or self.get(fingerprint, kind="capture") is not None
+        )
 
     def __len__(self) -> int:
-        self._load()
-        return len(self._index)
+        return sum(1 for _ in self.fingerprints())
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"ResultsStore(root={str(self._root)!r}, records={len(self)})"
 
 
-__all__ = ["ResultsStore"]
+__all__ = ["CompactionStats", "ResultsStore"]

@@ -97,6 +97,59 @@ class TestFingerprint:
         payload = make_cell().config_dict()
         assert json.loads(json.dumps(payload)) == payload
 
+    def test_optional_fields_stay_out_of_legacy_fingerprints(self):
+        """Cells that do not use capture/noise_offsets/kde_bandwidth hash
+        exactly as before, so stores written before those fields existed
+        stay warm."""
+        payload = make_cell().config_dict()
+        assert "capture" not in payload
+        assert "noise_offsets" not in payload
+        assert "kde_bandwidth" not in payload
+
+    def test_noise_offsets_require_hybrid_mode(self):
+        from repro.experiments import CollectionMode as Mode
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_cell(noise_offsets=("na", "nb"))  # analytic by default
+        assert "hybrid" in str(excinfo.value)
+        cell = make_cell(
+            mode=Mode.HYBRID, noise_offsets=("na", "nb"),
+            scenario=ScenarioConfig(n_hops=1, cross_utilization=0.2),
+        )
+        assert cell.config_dict()["noise_offsets"] == ["na", "nb"]
+        assert cell.fingerprint() != make_cell(
+            mode=Mode.HYBRID,
+            scenario=ScenarioConfig(n_hops=1, cross_utilization=0.2),
+        ).fingerprint()
+
+    def test_kde_bandwidth_is_fingerprinted_when_set(self):
+        assert make_cell(kde_bandwidth=2.0).fingerprint() != make_cell().fingerprint()
+        assert (
+            make_cell(kde_bandwidth="scott").fingerprint()
+            != make_cell(kde_bandwidth=2.0).fingerprint()
+        )
+
+
+class TestKdeBandwidthOverride:
+    def test_rejects_unknown_rule_and_nonpositive_multiplier(self):
+        with pytest.raises(ConfigurationError):
+            make_cell(kde_bandwidth="epanechnikov")
+        with pytest.raises(ConfigurationError):
+            make_cell(kde_bandwidth=0.0)
+        with pytest.raises(ConfigurationError):
+            make_cell(kde_bandwidth=-1.0)
+
+    def test_override_changes_the_measured_rate_but_stays_valid(self):
+        default = run_cell(make_cell(features=("variance",)))
+        wide = run_cell(make_cell(features=("variance",), kde_bandwidth=5.0))
+        for result in (default, wide):
+            for by_n in result.empirical_detection_rate.values():
+                assert all(0.0 <= rate <= 1.0 for rate in by_n.values())
+
+    def test_named_rules_run(self):
+        result = run_cell(make_cell(features=("variance",), kde_bandwidth="scott"))
+        assert 0.0 <= result.empirical_detection_rate["variance"][50] <= 1.0
+
 
 class TestRunCell:
     def test_produces_rates_for_every_feature_and_size(self):

@@ -150,6 +150,147 @@ class TestFailurePropagation:
         assert poison.fingerprint() not in store
 
 
+class TestRetries:
+    def _flaky_run_cell(self, tmp_path, fail_times):
+        """A run_cell wrapper that fails each cell's first ``fail_times`` attempts.
+
+        Attempt counters live on disk, one file per cell, so the behaviour is
+        identical — and race-free — whether the cell runs inline or in a
+        forked pool worker.
+        """
+        from repro.runner.cells import run_cell as real_run_cell
+
+        def counter_for(cell):
+            return tmp_path / f"attempts-{cell.fingerprint()[:12]}"
+
+        def flaky(cell, capture=None):
+            counter = counter_for(cell)
+            attempts = int(counter.read_text()) if counter.exists() else 0
+            counter.write_text(str(attempts + 1))
+            if attempts < fail_times:
+                raise RuntimeError(f"transient failure #{attempts + 1}")
+            return real_run_cell(cell, capture=capture)
+
+        return flaky, counter_for
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_transient_failures_are_retried(self, tmp_path, monkeypatch, jobs):
+        import repro.runner.runner as runner_module
+
+        flaky, counter_for = self._flaky_run_cell(tmp_path, fail_times=1)
+        monkeypatch.setattr(runner_module, "run_cell", flaky)
+        lines = []
+        cells = grid(2)
+        report = SweepRunner(jobs=jobs, retries=2, progress=lines.append).run(cells)
+        assert len(report.results) == 2
+        for cell in cells:
+            assert int(counter_for(cell).read_text()) == 2  # 1 failure + 1 success
+        assert any("retrying" in line for line in lines)
+
+    def test_exhausted_retries_abort_with_the_cell_key(self, tmp_path, monkeypatch):
+        import repro.runner.runner as runner_module
+
+        flaky, _ = self._flaky_run_cell(tmp_path, fail_times=100)
+        monkeypatch.setattr(runner_module, "run_cell", flaky)
+        with pytest.raises(SweepError) as excinfo:
+            SweepRunner(retries=1).run(grid(1))
+        message = str(excinfo.value)
+        assert "grid/util=0.05" in message
+        assert "transient failure" in message
+
+    def test_zero_retries_keeps_the_historical_fail_fast_behaviour(self):
+        cells = grid(1, features=("bogus",))
+        with pytest.raises(SweepError):
+            SweepRunner().run(cells)
+
+
+class TestTimeouts:
+    @staticmethod
+    def _sleepy_run_cell(sleep_keys, tmp_path=None):
+        """run_cell that hangs for selected keys (until a marker appears)."""
+        import time as time_module
+
+        from repro.runner.cells import run_cell as real_run_cell
+
+        def sleepy(cell, capture=None):
+            if cell.key in sleep_keys:
+                if tmp_path is not None and (tmp_path / "pass").exists():
+                    return real_run_cell(cell, capture=capture)
+                time_module.sleep(60.0)
+            return real_run_cell(cell, capture=capture)
+
+        return sleepy
+
+    def test_rejects_bad_timeout_and_retries(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            SweepRunner(retries=-1)
+
+    def test_timed_out_cell_aborts_naming_the_cell_key(self, monkeypatch):
+        import repro.runner.runner as runner_module
+
+        cells = grid(3)
+        monkeypatch.setattr(
+            runner_module, "run_cell", self._sleepy_run_cell({cells[1].key})
+        )
+        with pytest.raises(SweepError) as excinfo:
+            SweepRunner(jobs=2, timeout=1.0).run(cells)
+        message = str(excinfo.value)
+        assert cells[1].key in message
+        assert "timed out after 1s" in message
+
+    def test_innocent_cells_survive_a_pool_recycle(self, tmp_path, monkeypatch):
+        """A timeout tears the pool down; requeued bystanders still complete."""
+        import repro.runner.runner as runner_module
+
+        cells = grid(4)
+        monkeypatch.setattr(
+            runner_module,
+            "run_cell",
+            self._sleepy_run_cell({cells[0].key}, tmp_path=tmp_path),
+        )
+        # First attempt of cell 0 hangs; the marker lets its retry pass.
+        (tmp_path / "pass").write_text("")
+        report = SweepRunner(jobs=2, timeout=30.0).run(cells)
+        assert len(report.results) == 4
+
+    def test_timeout_retry_recovers_a_hung_cell(self, tmp_path, monkeypatch):
+        import repro.runner.runner as runner_module
+
+        cells = grid(2)
+
+        from repro.runner.cells import run_cell as real_run_cell
+
+        marker = tmp_path / "first-attempt-done"
+
+        def hang_once(cell, capture=None):
+            if cell.key == cells[0].key and not marker.exists():
+                marker.write_text("")
+                import time as time_module
+
+                time_module.sleep(60.0)
+            return real_run_cell(cell, capture=capture)
+
+        monkeypatch.setattr(runner_module, "run_cell", hang_once)
+        lines = []
+        report = SweepRunner(
+            jobs=2, timeout=1.5, retries=1, progress=lines.append
+        ).run(cells)
+        assert len(report.results) == 2
+        assert any("timed out" in line and "retrying" in line for line in lines)
+
+    def test_timeout_with_jobs_one_still_enforced(self, monkeypatch):
+        """timeout forces a pool even at jobs=1 (an inline cell can't be killed)."""
+        import repro.runner.runner as runner_module
+
+        cells = grid(1)
+        monkeypatch.setattr(runner_module, "run_cell", self._sleepy_run_cell({cells[0].key}))
+        with pytest.raises(SweepError) as excinfo:
+            SweepRunner(jobs=1, timeout=1.0).run(cells)
+        assert "timed out" in str(excinfo.value)
+
+
 class TestValidation:
     def test_rejects_duplicate_cell_keys(self):
         cells = grid(1) + grid(1)

@@ -1,4 +1,4 @@
-"""Tests for the JSON-lines results store."""
+"""Tests for the sharded JSON-lines results store."""
 
 from __future__ import annotations
 
@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.exceptions import ConfigurationError
 from repro.runner import SCHEMA_VERSION, ResultsStore
 
 
@@ -15,6 +16,17 @@ def store(tmp_path):
 
 
 RESULT = {"empirical_detection_rate": {"variance": {"50": 0.9}}, "measured_variance_ratio": 1.5}
+
+
+def legacy_record(fingerprint, result, schema=SCHEMA_VERSION):
+    return json.dumps(
+        {"schema": schema, "fingerprint": fingerprint, "config": {}, "result": result}
+    )
+
+
+def write_legacy(store, lines):
+    store.root.mkdir(parents=True, exist_ok=True)
+    store.legacy_path.write_text("\n".join(lines) + "\n")
 
 
 class TestResultsStore:
@@ -36,42 +48,59 @@ class TestResultsStore:
         reopened = ResultsStore(store.root)
         assert reopened.get("abc")["result"] == RESULT
 
-    def test_layout_is_one_jsonl_file(self, store):
-        store.put("abc", {}, RESULT)
-        store.put("def", {}, RESULT)
-        assert store.path == store.root / "results.jsonl"
-        lines = store.path.read_text().splitlines()
-        assert len(lines) == 2
-        assert all(json.loads(line)["schema"] == SCHEMA_VERSION for line in lines)
+    def test_layout_is_sharded_by_fingerprint_prefix(self, store):
+        store.put("abcd01", {}, RESULT)
+        store.put("abff02", {}, RESULT)
+        store.put("c0ffee", {}, RESULT)
+        assert store.shard_path("abcd01") == store.root / "ab" / "abcd01.jsonl"
+        assert store.shard_path("abcd01").is_file()
+        assert store.shard_path("abff02").is_file()
+        assert (store.root / "c0" / "c0ffee.jsonl").is_file()
+        record = json.loads(store.shard_path("abcd01").read_text())
+        assert record["schema"] == SCHEMA_VERSION
+        assert record["kind"] == "cell"
+
+    def test_lookup_reads_only_one_shard(self, store):
+        """Point lookups never load the whole store (the sharding payoff)."""
+        store.put("abcd01", {}, RESULT)
+        store.put("c0ffee", {}, RESULT)
+        fresh = ResultsStore(store.root)
+        # Corrupt an unrelated shard: the lookup must not even parse it.
+        store.shard_path("c0ffee").write_text("not json at all")
+        assert fresh.get("abcd01")["result"] == RESULT
 
     def test_last_record_wins_on_duplicate_fingerprints(self, store):
         store.put("abc", {}, {"measured_variance_ratio": 1.0})
         store.put("abc", {}, {"measured_variance_ratio": 2.0})
-        assert store.get("abc")["result"]["measured_variance_ratio"] == 2.0
+        reopened = ResultsStore(store.root)
+        assert reopened.get("abc")["result"]["measured_variance_ratio"] == 2.0
+        assert len(store.shard_path("abc").read_text().splitlines()) == 2
 
     def test_truncated_final_line_is_skipped(self, store):
         store.put("abc", {}, RESULT)
-        with store.path.open("a") as handle:
-            handle.write('{"schema": 1, "fingerprint": "half')  # killed mid-write
+        with store.shard_path("abc").open("a") as handle:
+            handle.write('{"schema": 1, "fingerprint": "abc", "resu')  # killed mid-write
         reopened = ResultsStore(store.root)
-        assert len(reopened) == 1
-        assert reopened.get("abc") is not None
+        assert reopened.get("abc")["result"] == RESULT
 
     def test_foreign_schema_records_are_ignored(self, store):
-        store.put("abc", {}, RESULT)
-        with store.path.open("a") as handle:
-            handle.write(
-                json.dumps(
-                    {"schema": SCHEMA_VERSION + 1, "fingerprint": "xyz", "result": {}}
-                )
-                + "\n"
-            )
-        reopened = ResultsStore(store.root)
-        assert reopened.get("xyz") is None
+        path = store.shard_path("xyz9")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(legacy_record("xyz9", RESULT, schema=SCHEMA_VERSION + 1) + "\n")
+        assert store.get("xyz9") is None
+
+    def test_kinds_are_separate_namespaces(self, store):
+        store.put("abc", {}, RESULT, kind="capture")
+        assert store.get("abc") is None
+        assert store.get("abc", kind="capture")["result"] == RESULT
+        assert "abc" in store
+
+    def test_rejects_pathological_fingerprints_on_put(self, store):
+        for bad in ("", "ab", "a/../b", "a b"):
+            with pytest.raises(ConfigurationError):
+                store.put(bad, {}, RESULT)
 
     def test_root_that_is_a_file_is_rejected(self, tmp_path):
-        from repro.exceptions import ConfigurationError
-
         target = tmp_path / "not-a-dir"
         target.touch()
         with pytest.raises(ConfigurationError) as excinfo:
@@ -82,4 +111,95 @@ class TestResultsStore:
         store = ResultsStore(tmp_path / "nested" / "cache")
         assert not store.root.exists()  # reads never create the directory
         store.put("abc", {}, RESULT)
-        assert store.path.exists()
+        assert store.shard_path("abc").exists()
+
+
+class TestLegacyFlatFile:
+    """Stores written before sharding stay transparently readable."""
+
+    def test_legacy_records_are_served(self, store):
+        write_legacy(store, [legacy_record("abc", RESULT)])
+        assert store.get("abc")["result"] == RESULT
+        assert "abc" in store
+        assert len(store) == 1
+
+    def test_shard_takes_precedence_over_legacy(self, store):
+        write_legacy(store, [legacy_record("abc", {"measured_variance_ratio": 1.0})])
+        store.put("abc", {}, {"measured_variance_ratio": 2.0})
+        reopened = ResultsStore(store.root)
+        assert reopened.get("abc")["result"]["measured_variance_ratio"] == 2.0
+        assert len(reopened) == 1
+
+    def test_legacy_truncated_line_is_skipped(self, store):
+        write_legacy(store, [legacy_record("abc", RESULT), '{"schema": 1, "fing'])
+        assert ResultsStore(store.root).get("abc")["result"] == RESULT
+
+    def test_mixed_layout_lists_every_fingerprint_once(self, store):
+        write_legacy(store, [legacy_record("abc", RESULT), legacy_record("old1", RESULT)])
+        store.put("abc", {}, RESULT)
+        store.put("new1", {}, RESULT)
+        assert sorted(store.fingerprints()) == ["abc", "new1", "old1"]
+
+
+class TestCompaction:
+    def test_compact_drops_superseded_shard_records(self, store):
+        store.put("abc", {}, {"measured_variance_ratio": 1.0})
+        store.put("abc", {}, {"measured_variance_ratio": 2.0})
+        stats = store.compact()
+        assert stats.superseded_dropped == 1
+        assert len(store.shard_path("abc").read_text().splitlines()) == 1
+        assert ResultsStore(store.root).get("abc")["result"]["measured_variance_ratio"] == 2.0
+
+    def test_compact_migrates_legacy_into_shards(self, store):
+        write_legacy(
+            store,
+            [
+                legacy_record("old1", {"measured_variance_ratio": 1.0}),
+                legacy_record("old1", {"measured_variance_ratio": 3.0}),
+                legacy_record("old2", RESULT),
+            ],
+        )
+        store.put("new1", {}, RESULT)
+        stats = store.compact()
+        assert stats.legacy_migrated == 2
+        assert stats.superseded_dropped == 1  # the shadowed old1 record
+        assert not store.legacy_path.exists()
+        reopened = ResultsStore(store.root)
+        assert reopened.get("old1")["result"]["measured_variance_ratio"] == 3.0
+        assert reopened.get("old2")["result"] == RESULT
+        assert reopened.get("new1")["result"] == RESULT
+
+    def test_compact_prefers_shard_over_legacy_duplicate(self, store):
+        write_legacy(store, [legacy_record("abc", {"measured_variance_ratio": 1.0})])
+        store.put("abc", {}, {"measured_variance_ratio": 2.0})
+        store.compact()
+        assert not store.legacy_path.exists()
+        assert ResultsStore(store.root).get("abc")["result"]["measured_variance_ratio"] == 2.0
+
+    def test_compact_on_empty_store_is_a_noop(self, store):
+        stats = store.compact()
+        assert (stats.records_kept, stats.superseded_dropped, stats.legacy_migrated) == (0, 0, 0)
+
+    def test_compact_leaves_foreign_schema_shards_untouched(self, store):
+        """A store written by a different SCHEMA_VERSION is not ours to drop."""
+        foreign = store.shard_path("abc123")
+        foreign.parent.mkdir(parents=True, exist_ok=True)
+        foreign_line = legacy_record("abc123", RESULT, schema=SCHEMA_VERSION + 1) + "\n"
+        foreign.write_text(foreign_line)
+        write_legacy(
+            store,
+            [legacy_record("old1", RESULT), legacy_record("xyz1", RESULT, schema=99)],
+        )
+        stats = store.compact()
+        assert foreign.read_text() == foreign_line  # byte-identical
+        assert store.legacy_path.exists()  # foreign legacy line keeps the file
+        assert stats.legacy_migrated == 1
+        assert ResultsStore(store.root).get("old1")["result"] == RESULT
+
+    def test_compact_preserves_capture_kind(self, store):
+        store.put("abc", {}, RESULT, kind="capture")
+        store.put("abc", {}, RESULT, kind="capture")
+        store.compact()
+        reopened = ResultsStore(store.root)
+        assert reopened.get("abc", kind="capture") is not None
+        assert reopened.get("abc") is None

@@ -93,7 +93,85 @@ class TestSweepCommand:
         assert main(argv) == 0
         second = capsys.readouterr().out
         assert first == second
-        assert (tmp_path / "results.jsonl").exists()
+        from repro.runner import ResultsStore
+
+        assert len(ResultsStore(tmp_path)) > 0
+        assert list(tmp_path.glob("??/*.jsonl"))  # sharded layout on disk
+
+
+class TestMultiSeedCli:
+    """``--seeds N --ci``: mean ± bootstrap CI per grid point, from the CLI."""
+
+    def test_single_seed_output_is_unchanged_by_the_seeds_flag(self, capsys):
+        argv = ["sweep", "--figures", "fig6", "--preset", "smoke"]
+        assert main(argv) == 0
+        bare = capsys.readouterr().out
+        assert main(argv + ["--seeds", "1"]) == 0
+        explicit = capsys.readouterr().out
+        assert bare == explicit
+
+    def test_multi_seed_sweep_reports_mean_and_ci_for_every_figure(self, capsys):
+        assert main(["sweep", "--preset", "smoke", "--seeds", "3", "--ci"]) == 0
+        out = capsys.readouterr().out
+        for figure_title in ("Figure 4", "Figure 5", "Figure 6", "Figure 8"):
+            assert figure_title in out
+        assert out.count("mean of 3 seeds") >= 4
+        assert "ci95%" in out
+        assert "[" in out and "]" in out
+        assert "27 cells" in out  # 3 seeds: the 9-cell smoke grid tripled
+
+    def test_ci_without_enough_seeds_fails_cleanly(self, capsys):
+        assert main(["fig6", "--preset", "smoke", "--ci"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "--seeds" in err
+
+    def test_multi_seed_cache_round_trip(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--figures", "fig5", "--preset", "smoke",
+            "--seeds", "2", "--ci", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "4 cells, 4 simulated" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 simulated" in warm
+        assert strip_summary(cold) == strip_summary(warm)
+
+
+class TestCacheCommand:
+    def test_compact_drops_duplicates_and_migrates_legacy(self, tmp_path, capsys):
+        # Write a legacy flat store by hand, then a sharded record on top.
+        import json
+
+        from repro.runner import SCHEMA_VERSION, ResultsStore
+
+        tmp_path.joinpath("results.jsonl").write_text(
+            json.dumps(
+                {"schema": SCHEMA_VERSION, "fingerprint": "old1", "config": {}, "result": {"x": 1}}
+            )
+            + "\n"
+        )
+        store = ResultsStore(tmp_path)
+        store.put("abc", {}, {"x": 1})
+        store.put("abc", {}, {"x": 2})
+        assert main(["cache", "compact", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache compact:" in out
+        assert "1 superseded" in out
+        assert "1 legacy" in out
+        assert not (tmp_path / "results.jsonl").exists()
+        reopened = ResultsStore(tmp_path)
+        assert reopened.get("abc")["result"] == {"x": 2}
+        assert reopened.get("old1")["result"] == {"x": 1}
+
+    def test_cache_dir_is_required(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "compact"])
+        capsys.readouterr()
 
 
 class TestCommittedFixture:
