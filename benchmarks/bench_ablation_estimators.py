@@ -9,90 +9,28 @@ This ablation sweeps both on the Figure 4 scenario (CIT, no cross traffic,
 sample size 1000) to show that the headline result — variance/entropy succeed,
 mean fails — is not an artefact of a lucky estimator setting.
 
-Both knobs are ordinary cell fields (``entropy_bin_width``,
-``kde_bandwidth``), so the whole ablation is one cell list executed by the
-parallel sweep runner; numeric bandwidths are multiples of the Silverman
-bandwidth of the pooled training features.
+The sweep is the registered ``ablation_estimators`` experiment
+(:mod:`repro.experiments.ablations`) at its ``paper`` preset — the same grid
+``repro run ablation_estimators --preset paper --seed 17`` runs — executed
+here through the parallel sweep runner.
 """
 
 from __future__ import annotations
 
 from conftest import run_once
 
-from repro.experiments import CollectionMode, ScenarioConfig, format_table
-from repro.runner import SweepCell, SweepRunner
+from repro.api import get_experiment
+from repro.runner import SweepRunner
 
-SAMPLE_SIZE = 1000
-TRIALS = 15
-BIN_WIDTHS = (5e-6, 2e-5, 5e-5, 2e-4)
-BANDWIDTHS = ("silverman", "scott", 0.5, 2.0)
 JOBS = 4
 
 
-def _cells() -> list:
-    scenario = ScenarioConfig()
-    common = dict(
-        scenario=scenario,
-        sample_sizes=(SAMPLE_SIZE,),
-        trials=TRIALS,
-        mode=CollectionMode.SIMULATION,
-        seed=17,
-    )
-    cells = [
-        SweepCell(
-            key=f"ablation_est/bin_width={bin_width!r}",
-            features=("entropy",),
-            entropy_bin_width=bin_width,
-            **common,
-        )
-        for bin_width in BIN_WIDTHS
-    ]
-    cells += [
-        SweepCell(
-            key=f"ablation_est/bandwidth={bandwidth!r}",
-            features=("variance",),
-            kde_bandwidth=bandwidth,
-            **common,
-        )
-        for bandwidth in BANDWIDTHS
-    ]
-    return cells
-
-
-def _sweep():
-    report = SweepRunner(jobs=JOBS).run(_cells())
-    bin_rows = [
-        (
-            bin_width,
-            report[f"ablation_est/bin_width={bin_width!r}"].empirical_detection_rate[
-                "entropy"
-            ][SAMPLE_SIZE],
-        )
-        for bin_width in BIN_WIDTHS
-    ]
-    bandwidth_rows = [
-        (
-            str(bandwidth),
-            report[f"ablation_est/bandwidth={bandwidth!r}"].empirical_detection_rate[
-                "variance"
-            ][SAMPLE_SIZE],
-        )
-        for bandwidth in BANDWIDTHS
-    ]
-    return bin_rows, bandwidth_rows
-
-
 def test_estimator_settings_ablation(benchmark, record_figure):
-    bin_rows, bandwidth_rows = run_once(benchmark, _sweep)
-    report = (
-        "Entropy histogram bin width (CIT, n=1000)\n"
-        + format_table(["bin width (s)", "detection rate"], bin_rows)
-        + "\n\nKDE bandwidth for the variance feature (CIT, n=1000)\n"
-        + format_table(["bandwidth rule / multiple of Silverman", "detection rate"], bandwidth_rows)
-        + "\n"
-    )
-    record_figure("ablation_estimator_settings", report)
+    experiment = get_experiment("ablation_estimators", preset="paper", seed=17)
+    result = run_once(benchmark, lambda: experiment.run(runner=SweepRunner(jobs=JOBS)))
+    record_figure("ablation_estimator_settings", result.to_text())
 
     # The attack succeeds across a decade of bin widths and bandwidth choices.
-    assert sum(rate > 0.85 for _, rate in bin_rows) >= 3
-    assert all(rate > 0.85 for _, rate in bandwidth_rows)
+    bin_rates = list(result.detection_rate_by_bin_width.values())
+    assert sum(rate > 0.85 for rate in bin_rates) >= 3
+    assert all(rate > 0.85 for rate in result.detection_rate_by_bandwidth.values())

@@ -7,91 +7,32 @@ number of loaded hops between the gateway and the tap and reports the
 detection rate at each position, quantifying how much protection "distance
 behind noisy routers" buys for a CIT system (the paper's answer: not enough).
 
-The hop sweep runs as explicit :class:`repro.runner.GridPoint` objects (the
-0-hop tap needs zero cross utilization, so it is not a pure axis product)
-through the parallel sweep runner.  The hybrid cells are two-level: every hop
-count shares one cached gateway capture, so the sweep simulates the gateway
-once instead of once per position.
+The sweep is the registered ``ablation_tap`` experiment
+(:mod:`repro.experiments.ablations`) at its ``paper`` preset — the same grid
+``repro run ablation_tap --preset paper --seed 23`` runs.  Its hybrid cells
+are two-level: every hop count shares one cached gateway capture, so the
+sweep simulates the gateway once instead of once per position.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from conftest import run_once
 
-from repro.experiments import CollectionMode, ScenarioConfig, format_table
-from repro.runner import GridPoint, GridSpec, SweepRunner
+from repro.api import get_experiment
+from repro.runner import SweepRunner
 
-SAMPLE_SIZE = 1000
-TRIALS = 15
-HOP_COUNTS = (0, 1, 3, 8, 15)
-PER_HOP_UTILIZATION = 0.2
 JOBS = 4
 
 
-def _scenario(hops: int) -> ScenarioConfig:
-    return replace(
-        ScenarioConfig(),
-        n_hops=hops,
-        cross_utilization=PER_HOP_UTILIZATION if hops else 0.0,
-    )
-
-
-def _grid() -> GridSpec:
-    points = [
-        GridPoint(
-            key=f"ablation_tap/hops={hops}",
-            scenario=_scenario(hops),
-            shared_capture=True,
-            capture_key="ablation_tap/gateway-capture",
-            # One gateway capture for every tap position, but independent
-            # noise draws per position.
-            noise_offsets=(f"train-hops{hops}", f"test-hops{hops}"),
-        )
-        for hops in HOP_COUNTS
-    ]
-    # The hybrid mode keeps the 15-hop point tractable while sharing the same
-    # gateway capture across every tap position.
-    return GridSpec.from_points(
-        "ablation_tap",
-        points,
-        seeds=(23,),
-        sample_sizes=(SAMPLE_SIZE,),
-        trials=TRIALS,
-        mode=CollectionMode.HYBRID,
-    )
-
-
-def _sweep() -> dict:
-    grid = _grid()
-    report = SweepRunner(jobs=JOBS).run(grid.cells())
-    results = {}
-    for hops in HOP_COUNTS:
-        cell = report[f"ablation_tap/hops={hops}"]
-        rates = {
-            name: cell.empirical_detection_rate[name][SAMPLE_SIZE]
-            for name in ("mean", "variance", "entropy")
-        }
-        rates["r"] = _scenario(hops).variance_ratio()
-        results[hops] = rates
-    return results
-
-
 def test_tap_position_ablation(benchmark, record_figure):
-    results = run_once(benchmark, _sweep)
-    rows = [
-        (hops, rates["r"], rates["mean"], rates["variance"], rates["entropy"])
-        for hops, rates in results.items()
-    ]
-    table = format_table(
-        ["hops between GW1 and tap", "r", "mean", "variance", "entropy"], rows
-    )
-    record_figure("ablation_tap_position", table + "\n")
+    experiment = get_experiment("ablation_tap", preset="paper", seed=23)
+    result = run_once(benchmark, lambda: experiment.run(runner=SweepRunner(jobs=JOBS)))
+    record_figure("ablation_tap_position", result.to_text())
 
+    variance = result.empirical_detection_rate["variance"]
     # Detection is best right at the gateway and degrades with distance...
-    assert results[0]["variance"] > results[15]["variance"] - 0.05
-    assert results[0]["variance"] > 0.9
+    assert variance[0] > variance[15] - 0.05
+    assert variance[0] > 0.9
     # ...but a moderate number of loaded hops does not push it to the floor,
     # which is the paper's warning about relying on network noise.
-    assert results[3]["entropy"] > 0.6
+    assert result.empirical_detection_rate["entropy"][3] > 0.6

@@ -7,68 +7,28 @@ point ``sigma_T = 0.3 ms`` with four different interval families at identical
 all collapse toward the 50 % floor, confirming that the defence needs
 variance, not any particular shape.
 
-The family sweep is a *policy axis* of a :class:`repro.runner.GridSpec`
-product executed by the parallel sweep runner, so the four event simulations
-fan out across ``JOBS`` workers.
+The sweep is the registered ``ablation_vit`` experiment
+(:mod:`repro.experiments.ablations`) at its ``paper`` preset — the same grid
+``repro run ablation_vit --preset paper --seed 7`` runs — whose family axis
+is a *policy axis* of a grid product, fanned out across ``JOBS`` workers.
 """
 
 from __future__ import annotations
 
 from conftest import run_once
 
-from repro.experiments import CollectionMode, ScenarioConfig, format_table
-from repro.padding.policies import PaddingPolicy
-from repro.runner import GridSpec, SweepRunner
+from repro.api import get_experiment
+from repro.runner import SweepRunner
 
-SIGMA_T = 3e-4
-SAMPLE_SIZE = 1000
-TRIALS = 12
-FAMILIES = ("normal", "uniform", "exponential", "lognormal")
 JOBS = 4
 
 
-def _policy(family: str) -> PaddingPolicy:
-    return PaddingPolicy(
-        name=f"VIT-{family}", kind="VIT", mean_interval=0.01, sigma_t=SIGMA_T, family=family
-    )
-
-
-def _grid() -> GridSpec:
-    return GridSpec.product(
-        "ablation_vit",
-        ScenarioConfig(),
-        policies=[_policy(family) for family in FAMILIES],
-        seeds=(7,),
-        sample_sizes=(SAMPLE_SIZE,),
-        trials=TRIALS,
-        mode=CollectionMode.SIMULATION,
-    )
-
-
-def _sweep() -> dict:
-    grid = _grid()
-    report = SweepRunner(jobs=JOBS).run(grid.cells())
-    return {
-        family: {
-            name: report[f"ablation_vit/policy=VIT-{family}"].empirical_detection_rate[name][
-                SAMPLE_SIZE
-            ]
-            for name in ("mean", "variance", "entropy")
-        }
-        for family in FAMILIES
-    }
-
-
 def test_vit_distribution_family_ablation(benchmark, record_figure):
-    results = run_once(benchmark, _sweep)
-    rows = [
-        (family, rates["mean"], rates["variance"], rates["entropy"])
-        for family, rates in results.items()
-    ]
-    table = format_table(["VIT family", "mean", "variance", "entropy"], rows)
-    record_figure("ablation_vit_distributions", table + "\n")
+    experiment = get_experiment("ablation_vit", preset="paper", seed=7)
+    result = run_once(benchmark, lambda: experiment.run(runner=SweepRunner(jobs=JOBS)))
+    record_figure("ablation_vit_distributions", result.to_text())
 
     # Every family with the same sigma_T suppresses the attack comparably.
-    for rates in results.values():
-        assert rates["variance"] < 0.75
-        assert rates["entropy"] < 0.75
+    for family in experiment.config.families:
+        assert result.empirical_detection_rate["variance"][family] < 0.75
+        assert result.empirical_detection_rate["entropy"][family] < 0.75

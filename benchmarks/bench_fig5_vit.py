@@ -7,30 +7,27 @@ Figure 5(b): theoretical sample size needed for 99 % detection versus
 ``sigma_T`` — it explodes beyond anything an adversary could collect (the
 paper quotes > 1e11 intervals at ``sigma_T`` = 1 ms).
 
-The ``sigma_T`` sweep runs through the parallel sweep runner (one worker per
-grid cell, up to ``JOBS``), so the benchmark measures the fanned-out
-wall-clock the CLI's ``--jobs`` users actually see.
+The experiment is resolved through the :mod:`repro.api` registry — the same
+object ``repro run fig5 --preset paper --set trials=15`` builds — and its
+``sigma_T`` sweep runs through the parallel sweep runner (one worker per grid
+cell, up to ``JOBS``), so the benchmark measures the fanned-out wall-clock
+the CLI's ``--jobs`` users actually see.
 """
 
 from __future__ import annotations
 
 from conftest import run_once
 
-from repro.experiments import CollectionMode, Fig5Config, Fig5Experiment
+from repro.api import get_experiment
 from repro.runner import SweepRunner
 
 JOBS = 4
 
 
 def test_fig5_vit_padding(benchmark, record_figure):
-    config = Fig5Config(
-        sigma_t_values=(0.0, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3),
-        sample_size=2000,
-        trials=15,
-        mode=CollectionMode.SIMULATION,
-        seed=2003,
+    experiment = get_experiment(
+        "fig5", preset="paper", seed=2003, overrides={"trials": 15}
     )
-    experiment = Fig5Experiment(config)
     result = run_once(benchmark, lambda: experiment.run(runner=SweepRunner(jobs=JOBS)))
     record_figure("fig5_vit_padding", result.to_text())
 

@@ -10,11 +10,13 @@ Reproduces the laboratory half of the paper's evaluation end to end:
 * the Figure 6 sweep (CIT behind a shared router): detection rate vs. the
   shared link's utilization.
 
-Each section prints the same rows the corresponding figure plots.  The three
-scenario grids run through the parallel sweep runner: pass ``--jobs 4`` to
-fan the grid cells out over four worker processes and ``--cache-dir DIR`` to
-persist the results, in which case a second invocation replays from the cache
-without simulating anything.  Expect a couple of minutes of run time with the
+Each experiment is resolved through the :mod:`repro.api` registry — the same
+objects ``repro run fig4`` / ``fig5`` / ``fig6`` build — with ``--set``-style
+overrides shrinking the grids to example size, and all three grids run
+through one shared parallel sweep runner: pass ``--jobs 4`` to fan the cells
+out over four worker processes and ``--cache-dir DIR`` to persist the
+results, in which case a second invocation replays from the cache without
+simulating anything.  Expect a couple of minutes of run time with the
 default (event-simulation, single-process) settings; pass ``--fast`` to use
 the analytic/hybrid fast paths instead.
 """
@@ -23,15 +25,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.experiments import (
-    CollectionMode,
-    Fig4Config,
-    Fig4Experiment,
-    Fig5Config,
-    Fig5Experiment,
-    Fig6Config,
-    Fig6Experiment,
-)
+from repro.api import get_experiment, run_experiment
 from repro.runner import ResultsStore, SweepRunner
 
 
@@ -58,39 +52,50 @@ def main() -> None:
     store = ResultsStore(args.cache_dir) if args.cache_dir else None
     runner = SweepRunner(jobs=args.jobs, store=store, progress=print)
 
-    fig4_mode = CollectionMode.ANALYTIC if args.fast else CollectionMode.SIMULATION
-    fig6_mode = CollectionMode.HYBRID if args.fast else CollectionMode.SIMULATION
+    lab_mode = "analytic" if args.fast else "simulation"
+    fig6_mode = "hybrid" if args.fast else "simulation"
 
     print("=== Figure 4: CIT padding, tap at the sender gateway, no cross traffic ===")
-    fig4 = Fig4Experiment(
-        Fig4Config(
-            sample_sizes=(10, 50, 100, 200, 500, 1000, 2000),
-            trials=15,
-            mode=fig4_mode,
-        )
-    ).run(runner=runner)
+    fig4 = run_experiment(
+        get_experiment(
+            "fig4",
+            preset="paper",
+            overrides={"trials": 15, "mode": lab_mode},
+        ),
+        runner=runner,
+    ).result
     print(fig4.to_text())
 
     print("=== Figure 5(a): VIT padding, detection rate vs sigma_T ===")
-    fig5 = Fig5Experiment(
-        Fig5Config(
-            sigma_t_values=(0.0, 3e-5, 1e-4, 3e-4, 1e-3),
-            sample_size=1000,
-            trials=10,
-            mode=fig4_mode,
-        )
-    ).run(runner=runner)
+    fig5 = run_experiment(
+        get_experiment(
+            "fig5",
+            preset="paper",
+            overrides={
+                "sigma_t_values": (0.0, 3e-5, 1e-4, 3e-4, 1e-3),
+                "sample_size": 1000,
+                "trials": 10,
+                "mode": lab_mode,
+            },
+        ),
+        runner=runner,
+    ).result
     print(fig5.to_text())
 
     print("=== Figure 6: CIT padding behind a shared router, cross-traffic sweep ===")
-    fig6 = Fig6Experiment(
-        Fig6Config(
-            utilizations=(0.05, 0.1, 0.2, 0.3, 0.4),
-            sample_size=500,
-            trials=8,
-            mode=fig6_mode,
-        )
-    ).run(runner=runner)
+    fig6 = run_experiment(
+        get_experiment(
+            "fig6",
+            preset="paper",
+            overrides={
+                "utilizations": (0.05, 0.1, 0.2, 0.3, 0.4),
+                "sample_size": 500,
+                "trials": 8,
+                "mode": fig6_mode,
+            },
+        ),
+        runner=runner,
+    ).result
     print(fig6.to_text())
 
     print(runner.summary())

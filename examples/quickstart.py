@@ -1,107 +1,82 @@
 #!/usr/bin/env python
-"""Quickstart: pad a payload stream, attack it, compare with the theory.
+"""Quickstart: the experiment API in one small scenario.
 
-This example walks the whole public API in one small scenario:
+This example walks the public :mod:`repro.api` surface end to end:
 
-1. build the paper's link-padding system (Poisson payload -> sender gateway
-   with a CIT timer -> adversary tap) in the event simulator;
-2. mount the traffic-analysis attack (off-line training + run-time
-   classification) with each of the paper's three feature statistics;
-3. compare the measured detection rates with the closed-form predictions of
-   Theorems 1-3 and with the exact Bayes rates;
-4. show that switching the gateway to VIT padding defeats the attack.
+1. list the registered experiments (the paper's figures and the ablations);
+2. declare a brand-new padded-link scenario *as data* — a
+   :class:`repro.api.ScenarioSpec` with a policy axis comparing the paper's
+   CIT padding against its VIT countermeasure — exactly what a TOML file
+   passed to ``repro run --scenario`` contains;
+3. run it through the parallel sweep runner and read the result: empirical
+   detection rates (KDE Bayes classifier on simulated captures) against the
+   closed-form predictions of Theorems 1-3;
+4. run a registered experiment (``fig4``) the same way, with a
+   ``--set``-style override.
 
 Run with ``python examples/quickstart.py`` (takes a few seconds).
 """
 
 from __future__ import annotations
 
-from repro.adversary import default_features, evaluate_attack
-from repro.core import (
-    detection_rate_entropy,
-    detection_rate_mean,
-    detection_rate_variance,
+from repro.api import (
+    ScenarioExperiment,
+    ScenarioSpec,
+    get_experiment,
+    list_experiments,
+    run_experiment,
 )
-from repro.experiments import (
-    CollectionMode,
-    ScenarioConfig,
-    collect_labelled_intervals,
-    format_table,
-)
-from repro.padding import cit_policy, vit_policy
 
 SAMPLE_SIZE = 1000   # PIATs per classified sample (the paper's Figure 4 knee)
 TRIALS = 20          # training samples and test samples per payload rate
 SEED = 42
 
 
-def attack(scenario: ScenarioConfig) -> dict:
-    """Run the full attack against one padded-link scenario."""
-    n_intervals = SAMPLE_SIZE * TRIALS
-    train = collect_labelled_intervals(
-        scenario, n_intervals, mode=CollectionMode.SIMULATION, seed=SEED, seed_offset="train"
-    )
-    test = collect_labelled_intervals(
-        scenario, n_intervals, mode=CollectionMode.SIMULATION, seed=SEED, seed_offset="test"
-    )
-    rates = {}
-    for name, feature in default_features().items():
-        result = evaluate_attack(
-            train.intervals, test.intervals, feature, SAMPLE_SIZE, max_samples_per_class=TRIALS
-        )
-        rates[name] = result.detection_rate
-    return rates
-
-
-def theory(scenario: ScenarioConfig) -> dict:
-    """Closed-form detection-rate predictions for the same scenario."""
-    r = scenario.variance_ratio()
-    return {
-        "mean": detection_rate_mean(r),
-        "variance": detection_rate_variance(r, SAMPLE_SIZE),
-        "entropy": detection_rate_entropy(r, SAMPLE_SIZE),
-    }
-
-
 def main() -> None:
-    cit_scenario = ScenarioConfig(policy=cit_policy())          # the common configuration
-    vit_scenario = ScenarioConfig(policy=vit_policy(sigma_t=1e-3))  # the paper's countermeasure
-
-    print("Collecting padded traffic and mounting the attack (CIT)...")
-    cit_empirical = attack(cit_scenario)
-    cit_theory = theory(cit_scenario)
-
-    print("Collecting padded traffic and mounting the attack (VIT, sigma_T = 1 ms)...")
-    vit_empirical = attack(vit_scenario)
-    vit_theory = theory(vit_scenario)
-
-    rows = []
-    for feature in ("mean", "variance", "entropy"):
-        rows.append(
-            (
-                feature,
-                cit_empirical[feature],
-                cit_theory[feature],
-                vit_empirical[feature],
-                vit_theory[feature],
-            )
-        )
+    print("Registered experiments:", ", ".join(list_experiments()))
     print()
-    print(f"Detection rates at sample size {SAMPLE_SIZE} (0.5 = random guessing):")
-    print(
-        format_table(
-            ["feature", "CIT empirical", "CIT theory", "VIT empirical", "VIT theory"], rows
-        )
+
+    # --- a declarative scenario: CIT vs VIT on the same padded link --------
+    # The same document, as TOML in a file, runs with:
+    #   repro run --scenario quickstart.toml
+    spec = ScenarioSpec.from_dict(
+        {
+            "name": "quickstart",
+            "title": f"CIT vs VIT at sample size {SAMPLE_SIZE} (0.5 = random guessing)",
+            "grid": {"policies": ["cit", "vit:1e-3"]},
+            "run": {
+                "mode": "simulation",
+                "sample_sizes": [SAMPLE_SIZE],
+                "trials": TRIALS,
+                "seed": SEED,
+            },
+        }
     )
+    print("Collecting padded traffic and mounting the attack (CIT and VIT)...")
+    outcome = run_experiment(ScenarioExperiment(spec))
     print()
-    print(f"variance ratio r: CIT = {cit_scenario.variance_ratio():.3f}, "
-          f"VIT = {vit_scenario.variance_ratio():.6f}")
+    print(outcome.to_text())
+    ratios = outcome.result.variance_ratios
+    print(
+        "variance ratio r per policy: "
+        + ", ".join(f"{key.split('/')[-1]} = {r:.6g}" for key, r in ratios.items())
+    )
     print(
         "\nTakeaway: under CIT padding the dispersion features (variance, entropy)\n"
         "identify the hidden payload rate almost every time, while under VIT\n"
         "padding every feature is reduced to coin flipping — the paper's headline\n"
         "result."
     )
+
+    # --- a registered experiment with an override --------------------------
+    print("\nRegenerating Figure 4 from the registry (quick preset, fewer trials)...")
+    experiment = get_experiment(
+        "fig4", preset="quick", seed=SEED, overrides={"trials": 8}
+    )
+    figure = run_experiment(experiment, preset="quick", overrides={"trials": 8})
+    print()
+    print(figure.to_text())
+    print("provenance:", figure.provenance())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,147 @@
+"""Registry definitions for the paper's figure experiments.
+
+The preset configurations here are the exact values the CLI hardcoded per
+figure before the registry existed — they must not drift: single-seed
+default-preset reports are byte-identical to the historical per-figure
+commands, and the committed CI warm-cache fixture is fingerprinted against
+the ``smoke`` preset's cells.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import ExperimentDefinition, register_experiment
+from repro.experiments import (
+    CollectionMode,
+    Fig4Config,
+    Fig4Experiment,
+    Fig5Config,
+    Fig5Experiment,
+    Fig6Config,
+    Fig6Experiment,
+    Fig8Config,
+    Fig8Experiment,
+)
+
+
+@register_experiment("fig4")
+class Fig4Definition(ExperimentDefinition):
+    """Figure 4: CIT padding, no cross traffic — PIAT stats and detection vs sample size."""
+
+    config_cls = Fig4Config
+
+    def build(self, config: Fig4Config) -> Fig4Experiment:
+        return Fig4Experiment(config)
+
+    def preset_config(self, preset: str, seed: int) -> Fig4Config:
+        if preset == "paper":
+            return Fig4Config(seed=seed)
+        if preset == "fast":
+            return Fig4Config(trials=20, mode=CollectionMode.ANALYTIC, seed=seed)
+        if preset == "quick":
+            return Fig4Config(
+                sample_sizes=(50, 200, 1000), trials=10, mode=CollectionMode.ANALYTIC, seed=seed
+            )
+        return Fig4Config(
+            sample_sizes=(50, 200), trials=6, mode=CollectionMode.ANALYTIC, seed=seed
+        )
+
+
+@register_experiment("fig5")
+class Fig5Definition(ExperimentDefinition):
+    """Figure 5: VIT padding — detection rate vs sigma_T, and the sample size to beat it."""
+
+    config_cls = Fig5Config
+
+    def build(self, config: Fig5Config) -> Fig5Experiment:
+        return Fig5Experiment(config)
+
+    def preset_config(self, preset: str, seed: int) -> Fig5Config:
+        if preset == "paper":
+            return Fig5Config(seed=seed)
+        if preset == "fast":
+            return Fig5Config(trials=12, mode=CollectionMode.ANALYTIC, seed=seed)
+        if preset == "quick":
+            return Fig5Config(
+                sigma_t_values=(0.0, 1e-4, 1e-3),
+                sample_size=500,
+                trials=8,
+                mode=CollectionMode.ANALYTIC,
+                seed=seed,
+            )
+        return Fig5Config(
+            sigma_t_values=(0.0, 1e-3),
+            sample_size=200,
+            trials=6,
+            mode=CollectionMode.ANALYTIC,
+            seed=seed,
+        )
+
+
+@register_experiment("fig6")
+class Fig6Definition(ExperimentDefinition):
+    """Figure 6: CIT padding behind a shared router — detection rate vs utilization."""
+
+    config_cls = Fig6Config
+
+    def build(self, config: Fig6Config) -> Fig6Experiment:
+        return Fig6Experiment(config)
+
+    def preset_config(self, preset: str, seed: int) -> Fig6Config:
+        if preset == "paper":
+            return Fig6Config(seed=seed)
+        if preset == "fast":
+            return Fig6Config(trials=15, mode=CollectionMode.HYBRID, seed=seed)
+        if preset == "quick":
+            return Fig6Config(
+                utilizations=(0.05, 0.4),
+                sample_size=400,
+                trials=8,
+                mode=CollectionMode.HYBRID,
+                seed=seed,
+            )
+        return Fig6Config(
+            utilizations=(0.05, 0.3),
+            sample_size=200,
+            trials=6,
+            mode=CollectionMode.ANALYTIC,
+            seed=seed,
+        )
+
+
+@register_experiment("fig8")
+class Fig8Definition(ExperimentDefinition):
+    """Figure 8: 24-hour campus and WAN observations under diurnal cross traffic."""
+
+    config_cls = Fig8Config
+
+    def build(self, config: Fig8Config) -> Fig8Experiment:
+        return Fig8Experiment(config)
+
+    def preset_config(self, preset: str, seed: int) -> Fig8Config:
+        if preset == "paper":
+            return Fig8Config(seed=seed)
+        if preset == "fast":
+            return Fig8Config(trials=15, mode=CollectionMode.HYBRID, seed=seed)
+        if preset == "quick":
+            return Fig8Config(
+                hours=(2, 14),
+                sample_size=400,
+                trials=8,
+                mode=CollectionMode.HYBRID,
+                seed=seed,
+            )
+        return Fig8Config(
+            hours=(2, 14),
+            sample_size=200,
+            trials=6,
+            mode=CollectionMode.ANALYTIC,
+            seed=seed,
+        )
+
+
+__all__ = [
+    "Fig4Definition",
+    "Fig5Definition",
+    "Fig6Definition",
+    "Fig8Definition",
+]

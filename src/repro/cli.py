@@ -1,166 +1,88 @@
-"""Command-line entry point: regenerate the paper's figures, serially or swept.
+"""Command-line entry point, driven by the experiment registry.
 
-``python -m repro <figure> [options]`` runs one experiment with a
-configuration scaled by ``--preset`` and prints the regenerated rows;
-``python -m repro sweep`` runs several figure grids through the parallel
-sweep runner in one go; ``python -m repro cache`` maintains a persistent
-results store:
+``python -m repro`` (or the ``repro`` console script) is a thin veneer over
+:mod:`repro.api`: every subcommand resolves experiments through the registry,
+so a newly registered experiment — or a declarative scenario file — is
+runnable without touching this module:
 
 ```
-python -m repro fig4                        # full event simulation, paper-like sizes
-python -m repro fig5 --preset quick         # small/fast configuration
-python -m repro fig6 --preset fast --jobs 4 # hybrid sweep across 4 worker processes
-python -m repro fig8 --seed 7 --output fig8.txt
+python -m repro list                          # registered experiments
+python -m repro run fig6 --preset fast        # any registered experiment
+python -m repro run fig6 --set trials=30 --set utilizations=0.1,0.3
+python -m repro run ablation_tap --preset quick
+python -m repro run --scenario my_wan.toml --jobs 4   # no Python needed
+python -m repro fig4                          # legacy alias of 'run fig4'
 python -m repro sweep --preset smoke --jobs 2 --cache-dir .sweep-cache
-python -m repro sweep --figures fig6 fig8 --preset fast --jobs 8
-python -m repro sweep --preset fast --seeds 5 --ci        # mean ± 95% CI per grid point
-python -m repro cache compact --cache-dir .sweep-cache    # drop superseded records
+python -m repro sweep --experiments fig6 ablation_vit --scenario my_wan.toml
+python -m repro sweep --preset fast --seeds 5 --ci    # mean ± 95% CI per point
+python -m repro cache stats --cache-dir .sweep-cache  # store health counters
+python -m repro cache compact --cache-dir .sweep-cache
 ```
 
-Every figure command accepts ``--jobs`` (worker processes for independent
-grid cells), ``--cache-dir`` (a persistent :class:`repro.runner.ResultsStore`;
-re-running the same grid against the same cache directory performs zero
-simulations), ``--seeds N`` (fan every grid point out over ``N`` consecutive
-master seeds and report per-point means) and ``--ci`` (add a bootstrap
-confidence interval column; needs ``--seeds`` >= 2).  The CLI is otherwise a
-thin veneer over :mod:`repro.experiments`; anything beyond preset/seed/output
-selection is done in Python against the ``Fig*Config`` dataclasses directly.
+Every run accepts ``--jobs`` (worker processes for independent grid cells),
+``--cache-dir`` (a persistent :class:`repro.runner.ResultsStore`; re-running
+the same grid against the same cache directory performs zero simulations),
+``--seeds N`` (fan every grid point out over ``N`` consecutive master seeds
+and report per-point means) and ``--ci`` (add a bootstrap confidence interval
+column; needs ``--seeds`` >= 2 — rejected at argument-parse time otherwise).
+``--set key=value`` overrides any field of the preset's configuration
+dataclass; anything richer is done in Python against :mod:`repro.api`.
+
+The legacy per-figure spellings (``repro fig4`` … ``repro fig8``) are aliases
+of ``repro run <figure>`` and print byte-identical reports.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
-from typing import Callable, Dict, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro._version import __version__
-from repro.exceptions import ConfigurationError, ReproError
-from repro.experiments import (
-    CollectionMode,
-    Fig4Config,
-    Fig4Experiment,
-    Fig5Config,
-    Fig5Experiment,
-    Fig6Config,
-    Fig6Experiment,
-    Fig8Config,
-    Fig8Experiment,
+from repro.api import (
+    DEFAULT_SEED,
+    PRESETS,
+    ScenarioExperiment,
+    ScenarioSpec,
+    describe_experiment,
+    get_experiment,
+    list_experiments,
+    parse_set_options,
+    run_experiment,
 )
+from repro.exceptions import ReproError
 from repro.runner import ResultsStore, SweepRunner, seed_range
-
-#: Presets trade fidelity against run time.  ``paper`` uses full event
-#: simulation with figure-like sample sizes; ``fast`` switches the network to
-#: the hybrid/analytic models; ``quick`` additionally shrinks the sweeps so
-#: every figure finishes in a few seconds (used by the CLI tests); ``smoke``
-#: is a tiny all-analytic grid used by the CI smoke job to exercise the sweep
-#: runner and its cache end-to-end in seconds.
-PRESETS = ("paper", "fast", "quick", "smoke")
 
 #: Confidence level of the ``--ci`` bootstrap bands.
 CI_CONFIDENCE = 0.95
 
+#: Preset used when ``--preset`` is not given.
+DEFAULT_PRESET = "fast"
 
-def _fig4_config(preset: str, seed: int) -> Fig4Config:
-    if preset == "paper":
-        return Fig4Config(seed=seed)
-    if preset == "fast":
-        return Fig4Config(trials=20, mode=CollectionMode.ANALYTIC, seed=seed)
-    if preset == "quick":
-        return Fig4Config(
-            sample_sizes=(50, 200, 1000), trials=10, mode=CollectionMode.ANALYTIC, seed=seed
-        )
-    return Fig4Config(
-        sample_sizes=(50, 200), trials=6, mode=CollectionMode.ANALYTIC, seed=seed
-    )
-
-
-def _fig5_config(preset: str, seed: int) -> Fig5Config:
-    if preset == "paper":
-        return Fig5Config(seed=seed)
-    if preset == "fast":
-        return Fig5Config(trials=12, mode=CollectionMode.ANALYTIC, seed=seed)
-    if preset == "quick":
-        return Fig5Config(
-            sigma_t_values=(0.0, 1e-4, 1e-3),
-            sample_size=500,
-            trials=8,
-            mode=CollectionMode.ANALYTIC,
-            seed=seed,
-        )
-    return Fig5Config(
-        sigma_t_values=(0.0, 1e-3),
-        sample_size=200,
-        trials=6,
-        mode=CollectionMode.ANALYTIC,
-        seed=seed,
-    )
-
-
-def _fig6_config(preset: str, seed: int) -> Fig6Config:
-    if preset == "paper":
-        return Fig6Config(seed=seed)
-    if preset == "fast":
-        return Fig6Config(trials=15, mode=CollectionMode.HYBRID, seed=seed)
-    if preset == "quick":
-        return Fig6Config(
-            utilizations=(0.05, 0.4),
-            sample_size=400,
-            trials=8,
-            mode=CollectionMode.HYBRID,
-            seed=seed,
-        )
-    return Fig6Config(
-        utilizations=(0.05, 0.3),
-        sample_size=200,
-        trials=6,
-        mode=CollectionMode.ANALYTIC,
-        seed=seed,
-    )
-
-
-def _fig8_config(preset: str, seed: int) -> Fig8Config:
-    if preset == "paper":
-        return Fig8Config(seed=seed)
-    if preset == "fast":
-        return Fig8Config(trials=15, mode=CollectionMode.HYBRID, seed=seed)
-    if preset == "quick":
-        return Fig8Config(
-            hours=(2, 14),
-            sample_size=400,
-            trials=8,
-            mode=CollectionMode.HYBRID,
-            seed=seed,
-        )
-    return Fig8Config(
-        hours=(2, 14),
-        sample_size=200,
-        trials=6,
-        mode=CollectionMode.ANALYTIC,
-        seed=seed,
-    )
-
-
-#: Experiment factories keyed by figure name.  Each returned experiment
-#: exposes ``cells(seeds)`` / ``run(runner, seeds, confidence)`` /
-#: ``assemble(report, seeds, confidence)`` so the sweep subcommand can pool
-#: every figure's cells into one combined runner call.
-_FIGURES: Dict[str, Callable[[str, int], object]] = {
-    "fig4": lambda preset, seed: Fig4Experiment(_fig4_config(preset, seed)),
-    "fig5": lambda preset, seed: Fig5Experiment(_fig5_config(preset, seed)),
-    "fig6": lambda preset, seed: Fig6Experiment(_fig6_config(preset, seed)),
-    "fig8": lambda preset, seed: Fig8Experiment(_fig8_config(preset, seed)),
-}
+#: The historical per-figure subcommands, kept as aliases of ``run <name>``.
+LEGACY_FIGURES = ("fig4", "fig5", "fig6", "fig8")
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    # Sentinel defaults (resolved in main) so scenario files can tell an
+    # explicit --seed/--preset apart from the absent flag: a scenario keeps
+    # its own seed unless the user explicitly overrides it, and --preset is
+    # rejected there instead of being silently swallowed.
     parser.add_argument(
         "--preset",
         choices=PRESETS,
-        default="fast",
-        help="fidelity/run-time preset (default: fast)",
+        default=None,
+        help=f"fidelity/run-time preset (default: {DEFAULT_PRESET})",
     )
-    parser.add_argument("--seed", type=int, default=2003, help="master random seed")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=f"master random seed (default: {DEFAULT_SEED}; an explicit value "
+        "also overrides a scenario file's run.seed)",
+    )
     parser.add_argument(
         "--seeds",
         type=int,
@@ -205,40 +127,92 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate figures of Fu et al., ICPP 2003 (link-padding countermeasures).",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    names = list_experiments()
     subcommands = parser.add_subparsers(
-        dest="figure",
-        metavar="figure",
+        dest="command",
+        metavar="command",
         required=True,
-        help="which evaluation figure to regenerate, 'sweep' for several at "
-        "once, or 'cache' for store maintenance",
+        help="'run' any registered experiment or scenario file, 'list' the "
+        "registry, 'sweep' several experiments at once, 'cache' for store "
+        "maintenance, or a legacy figure alias",
     )
-    for name in sorted(_FIGURES):
+
+    subcommands.add_parser(
+        "list", help="list the registered experiments and their summaries"
+    )
+
+    run_parser = subcommands.add_parser(
+        "run",
+        help="run one registered experiment (or a --scenario TOML file)",
+    )
+    run_parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=names,
+        metavar="EXPERIMENT",
+        help=f"a registered experiment: {', '.join(names)}",
+    )
+    run_parser.add_argument(
+        "--scenario",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="run a declarative scenario file (TOML) instead of a registered "
+        "experiment; the report ends with the sweep's cache accounting line",
+    )
+    run_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override one field of the preset's configuration (repeatable); "
+        "tuples are comma-separated, e.g. --set utilizations=0.1,0.3",
+    )
+    _add_common_options(run_parser)
+
+    for name in LEGACY_FIGURES:
         figure_parser = subcommands.add_parser(
-            name, help=f"regenerate {name} of the paper"
+            name, help=f"regenerate {name} of the paper (alias of 'run {name}')"
         )
         _add_common_options(figure_parser)
+
     sweep = subcommands.add_parser(
         "sweep",
-        help="run several figure grids through the parallel sweep runner",
+        help="run several experiment grids through one parallel sweep runner",
     )
     _add_common_options(sweep)
     sweep.add_argument(
+        "--experiments",
         "--figures",
+        dest="figures",
         nargs="+",
-        choices=sorted(_FIGURES),
-        default=sorted(_FIGURES),
-        metavar="FIG",
-        help="figures to include in the sweep (default: all)",
+        choices=names,
+        default=list(LEGACY_FIGURES),
+        metavar="NAME",
+        help="registered experiments to pool into the sweep "
+        f"(default: {' '.join(LEGACY_FIGURES)})",
     )
+    sweep.add_argument(
+        "--scenario",
+        dest="scenarios",
+        action="append",
+        type=Path,
+        default=[],
+        metavar="FILE",
+        help="also pool the cells of a declarative scenario file (repeatable)",
+    )
+
     cache = subcommands.add_parser(
         "cache",
         help="maintain a persistent results store",
     )
     cache.add_argument(
         "action",
-        choices=("compact",),
+        choices=("compact", "stats"),
         help="compact: drop superseded duplicate records and fold a legacy "
-        "flat results.jsonl into the sharded layout",
+        "flat results.jsonl into the sharded layout; stats: report record/"
+        "shard counts, store size and schema versions",
     )
     cache.add_argument(
         "--cache-dir",
@@ -249,53 +223,149 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_args(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Cross-option validation, reported as argparse errors (exit code 2).
+
+    Doing this at parse time means ``repro run fig8 --ci`` fails in
+    milliseconds with usage text instead of deep inside the experiment.
+    """
+    if getattr(args, "seeds", 1) < 1:
+        parser.error(f"--seeds {args.seeds} must be >= 1")
+    if getattr(args, "ci", False) and args.seeds < 2:
+        parser.error(
+            "--ci requires --seeds >= 2: a confidence interval needs repeated "
+            "trials per grid point"
+        )
+    if args.command == "run":
+        if (args.experiment is None) == (args.scenario is None):
+            parser.error(
+                "exactly one of EXPERIMENT or --scenario FILE is required "
+                "(see 'repro list' for registered experiments)"
+            )
+        if args.scenario is not None and args.overrides:
+            parser.error(
+                "--set overrides apply to registered experiments only; edit "
+                "the scenario file instead"
+            )
+        if args.scenario is not None and args.preset is not None:
+            parser.error(
+                "--preset applies to registered experiments only; a scenario "
+                "file's [run] table is its configuration (--seed and --seeds "
+                "do apply)"
+            )
+
+
+def _render_list() -> str:
+    names = list_experiments()
+    width = max(len(name) for name in names)
+    lines = ["registered experiments (repro run <name> [--preset ...]):", ""]
+    lines += [f"  {name.ljust(width)}  {describe_experiment(name)}" for name in names]
+    lines += [
+        "",
+        f"presets: {', '.join(PRESETS)}",
+        "scenario files: repro run --scenario FILE.toml (see docs/api.md)",
+    ]
+    return "\n".join(lines)
+
+
 def _run_cache_command(args: argparse.Namespace) -> str:
     store = ResultsStore(args.cache_dir)
-    stats = store.compact()
-    return f"cache compact: {stats}"
+    if args.action == "compact":
+        return f"cache compact: {store.compact()}"
+    return f"cache stats: {store.stats()}"
+
+
+def _load_scenario(path: Path, explicit_seed: Optional[int]) -> ScenarioExperiment:
+    """A scenario experiment from a file, honouring an explicit ``--seed``.
+
+    Scenario files own their run settings, so the spec's ``run.seed`` wins
+    unless the user explicitly passed ``--seed`` on the command line.
+    """
+    spec = ScenarioSpec.from_toml(path)
+    if explicit_seed is not None:
+        spec = replace(spec, seed=explicit_seed)
+    return ScenarioExperiment(spec)
+
+
+def _scenario_seeds(experiment: ScenarioExperiment, count: int):
+    """A scenario's multi-seed fan-out, based on its own (resolved) seed."""
+    if count > 1:
+        return seed_range(experiment.spec.seed, count)
+    return None
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the CLI; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _validate_args(parser, args)
     try:
-        if args.figure == "cache":
+        if args.command == "list":
+            report = _render_list()
+        elif args.command == "cache":
             report = _run_cache_command(args)
         else:
-            if args.seeds < 1:
-                raise ConfigurationError(f"--seeds {args.seeds} must be >= 1")
-            if args.ci and args.seeds < 2:
-                raise ConfigurationError(
-                    "--ci needs --seeds >= 2: a confidence interval requires "
-                    "repeated trials per grid point"
-                )
-            seeds = seed_range(args.seed, args.seeds) if args.seeds > 1 else None
+            preset = args.preset if args.preset is not None else DEFAULT_PRESET
+            seed = args.seed if args.seed is not None else DEFAULT_SEED
+            seeds = seed_range(seed, args.seeds) if args.seeds > 1 else None
             confidence = CI_CONFIDENCE if args.ci else None
             store = ResultsStore(args.cache_dir) if args.cache_dir is not None else None
             runner = SweepRunner(jobs=args.jobs, store=store)
 
-            if args.figure == "sweep":
-                # One combined runner call: every selected figure's cells share
-                # the worker pool, so e.g. fig4's single cell runs alongside
-                # fig8's 24-hour grid instead of serialising per figure.
-                experiments = [
-                    _FIGURES[name](args.preset, args.seed) for name in args.figures
+            if args.command == "sweep":
+                # One combined runner call: every selected experiment's cells
+                # share the worker pool, so e.g. fig4's single cell runs
+                # alongside fig8's 24-hour grid instead of serialising per
+                # experiment.  Each experiment keeps its own seed base — the
+                # CLI seed for registered experiments, the spec's run.seed
+                # for scenario files (unless --seed was given explicitly) —
+                # so the --seeds fan-out never silently reseeds a scenario.
+                pooled: List = [
+                    (get_experiment(name, preset, seed), seeds)
+                    for name in args.figures
                 ]
+                for path in args.scenarios:
+                    experiment = _load_scenario(path, args.seed)
+                    pooled.append((experiment, _scenario_seeds(experiment, args.seeds)))
                 all_cells = [
-                    cell for experiment in experiments for cell in experiment.cells(seeds)
+                    cell
+                    for experiment, its_seeds in pooled
+                    for cell in experiment.cells(its_seeds)
                 ]
                 combined = runner.run(all_cells)
                 reports = [
-                    experiment.assemble(combined, seeds=seeds, confidence=confidence).to_text()
-                    for experiment in experiments
+                    experiment.assemble(
+                        combined, seeds=its_seeds, confidence=confidence
+                    ).to_text()
+                    for experiment, its_seeds in pooled
                 ]
                 report = "\n\n".join(reports) + "\n\n" + runner.summary()
-            else:
-                result = _FIGURES[args.figure](args.preset, args.seed).run(
-                    runner=runner, seeds=seeds, confidence=confidence
+            elif args.command == "run" and args.scenario is not None:
+                experiment = _load_scenario(args.scenario, args.seed)
+                outcome = run_experiment(
+                    experiment,
+                    runner=runner,
+                    seeds=_scenario_seeds(experiment, args.seeds),
+                    confidence=confidence,
                 )
-                report = result.to_text()
+                report = outcome.to_text() + "\n" + runner.summary()
+            else:
+                # 'run NAME' and the legacy figure aliases share one code
+                # path, which is what keeps their reports byte-identical.
+                name = args.experiment if args.command == "run" else args.command
+                overrides = parse_set_options(getattr(args, "overrides", []))
+                experiment = get_experiment(
+                    name, preset, seed, overrides=overrides or None
+                )
+                outcome = run_experiment(
+                    experiment,
+                    runner=runner,
+                    seeds=seeds,
+                    confidence=confidence,
+                    preset=preset,
+                    overrides=overrides,
+                )
+                report = outcome.to_text()
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
@@ -313,4 +383,11 @@ if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
     sys.exit(main())
 
 
-__all__ = ["build_parser", "main", "CI_CONFIDENCE", "PRESETS"]
+__all__ = [
+    "build_parser",
+    "main",
+    "CI_CONFIDENCE",
+    "DEFAULT_PRESET",
+    "LEGACY_FIGURES",
+    "PRESETS",
+]

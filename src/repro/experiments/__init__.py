@@ -30,6 +30,17 @@ Collection modes (see :mod:`repro.experiments.base`):
   fastest mode, used in unit tests and quick sanity checks.
 """
 
+from repro.experiments.ablations import (
+    EstimatorAblationConfig,
+    EstimatorAblationExperiment,
+    EstimatorAblationResult,
+    TapAblationConfig,
+    TapAblationExperiment,
+    TapAblationResult,
+    VitFamilyAblationConfig,
+    VitFamilyAblationExperiment,
+    VitFamilyAblationResult,
+)
 from repro.experiments.base import (
     CollectionMode,
     PaddedStreamCapture,
@@ -50,6 +61,15 @@ from repro.experiments.report import (
 
 __all__ = [
     "CollectionMode",
+    "EstimatorAblationConfig",
+    "EstimatorAblationExperiment",
+    "EstimatorAblationResult",
+    "TapAblationConfig",
+    "TapAblationExperiment",
+    "TapAblationResult",
+    "VitFamilyAblationConfig",
+    "VitFamilyAblationExperiment",
+    "VitFamilyAblationResult",
     "ScenarioConfig",
     "PaddedStreamCapture",
     "collect_labelled_intervals",

@@ -166,6 +166,18 @@ class ScenarioConfig:
         """Copy of this scenario at a different shared-link utilization."""
         return replace(self, cross_utilization=utilization)
 
+    def with_policy(self, policy: PaddingPolicy) -> "ScenarioConfig":
+        """Copy of this scenario under a different padding policy."""
+        return replace(self, policy=policy)
+
+    def with_hops(
+        self, n_hops: int, link_rate_bps: Optional[float] = None
+    ) -> "ScenarioConfig":
+        """Copy of this scenario with a different path length (and link rate)."""
+        if link_rate_bps is None:
+            return replace(self, n_hops=n_hops)
+        return replace(self, n_hops=n_hops, link_rate_bps=link_rate_bps)
+
     def net_piat_variance(self) -> float:
         """Analytic ``sigma_net^2`` of the path between gateway and tap."""
         if self.n_hops == 0 or self.cross_utilization == 0.0:

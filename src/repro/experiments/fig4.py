@@ -172,8 +172,18 @@ class Fig4Result:
 class Fig4Experiment:
     """Runs the Figure 4 reproduction."""
 
+    #: Registry name; also the prefix of every cell key this experiment emits.
+    name = "fig4"
+
     def __init__(self, config: Optional[Fig4Config] = None) -> None:
         self.config = config if config is not None else Fig4Config()
+
+    def describe(self) -> str:
+        """One-line summary shown by ``repro list`` and ``Experiment.describe``."""
+        return (
+            "Figure 4: CIT padding without cross traffic — PIAT statistics per "
+            "payload rate and detection rate vs sample size for the three features"
+        )
 
     def grid(self, seeds: Optional[Sequence[int]] = None) -> "GridSpec":
         """The experiment's grid: a single point, fanned out over the seeds.

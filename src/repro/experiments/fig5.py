@@ -17,7 +17,7 @@ bootstrap CI per grid point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.sample_size import sample_size_vs_sigma_t
@@ -95,7 +95,7 @@ class Fig5Config:
 
     def scenario_for(self, sigma_t: float) -> ScenarioConfig:
         """The scenario with the padding policy set to the given ``sigma_T``."""
-        return replace(self.scenario, policy=self.policy_for(sigma_t))
+        return self.scenario.with_policy(self.policy_for(sigma_t))
 
 
 @dataclass
@@ -157,8 +157,18 @@ class Fig5Result:
 class Fig5Experiment:
     """Runs the Figure 5 reproduction."""
 
+    #: Registry name; also the prefix of every cell key this experiment emits.
+    name = "fig5"
+
     def __init__(self, config: Optional[Fig5Config] = None) -> None:
         self.config = config if config is not None else Fig5Config()
+
+    def describe(self) -> str:
+        """One-line summary shown by ``repro list`` and ``Experiment.describe``."""
+        return (
+            "Figure 5: VIT padding — detection rate vs the timer standard deviation "
+            "sigma_T, and the sample size needed for 99% detection"
+        )
 
     @staticmethod
     def point_key(sigma_t: float) -> str:

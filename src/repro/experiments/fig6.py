@@ -124,8 +124,18 @@ class Fig6Result:
 class Fig6Experiment:
     """Runs the Figure 6 reproduction."""
 
+    #: Registry name; also the prefix of every cell key this experiment emits.
+    name = "fig6"
+
     def __init__(self, config: Optional[Fig6Config] = None) -> None:
         self.config = config if config is not None else Fig6Config()
+
+    def describe(self) -> str:
+        """One-line summary shown by ``repro list`` and ``Experiment.describe``."""
+        return (
+            "Figure 6: CIT padding behind a shared router — detection rate vs the "
+            "shared link's cross-traffic utilization"
+        )
 
     @staticmethod
     def point_key(utilization: float) -> str:

@@ -28,7 +28,7 @@ across the sweep runner's worker pool and is cached by content hash.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -115,12 +115,9 @@ class Fig8Config:
     def scenario_at(self, network: str, hour: int) -> ScenarioConfig:
         """The padded-link scenario for one network at one hour."""
         spec = self.topology(network)
-        return replace(
-            self.base_scenario,
-            n_hops=spec.n_hops,
-            link_rate_bps=spec.link_rate_bps,
-            cross_utilization=self.utilization_at(network, hour),
-        )
+        return self.base_scenario.with_hops(
+            spec.n_hops, link_rate_bps=spec.link_rate_bps
+        ).with_cross_utilization(self.utilization_at(network, hour))
 
 
 @dataclass
@@ -181,8 +178,18 @@ class Fig8Result:
 class Fig8Experiment:
     """Runs the Figure 8 reproduction."""
 
+    #: Registry name; also the prefix of every cell key this experiment emits.
+    name = "fig8"
+
     def __init__(self, config: Optional[Fig8Config] = None) -> None:
         self.config = config if config is not None else Fig8Config()
+
+    def describe(self) -> str:
+        """One-line summary shown by ``repro list`` and ``Experiment.describe``."""
+        return (
+            "Figure 8: 24-hour hourly detection rates across a campus network and "
+            "a WAN carrying diurnal cross traffic"
+        )
 
     @staticmethod
     def point_key(network: str, hour: int) -> str:

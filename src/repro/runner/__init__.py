@@ -42,7 +42,7 @@ from repro.runner.grid import (
     split_seed_key,
 )
 from repro.runner.runner import SweepReport, SweepRunner
-from repro.runner.store import CompactionStats, ResultsStore
+from repro.runner.store import CompactionStats, ResultsStore, StoreStats
 
 __all__ = [
     "DEFAULT_FEATURES",
@@ -58,6 +58,7 @@ __all__ = [
     "GridPoint",
     "GridSpec",
     "ResultsStore",
+    "StoreStats",
     "SweepCell",
     "SweepError",
     "SweepReport",

@@ -44,13 +44,51 @@ import os
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.exceptions import ConfigurationError
 from repro.runner.cells import SCHEMA_VERSION
 
 #: Fingerprints become file names; restrict them to boring hash-like tokens.
 _FINGERPRINT_RE = re.compile(r"[0-9a-zA-Z]{3,128}")
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Health snapshot of a results store (``repro cache stats``).
+
+    ``records`` counts winning records (one per fingerprint); ``cells`` /
+    ``captures`` split them by record kind.  ``superseded`` counts lines
+    shadowed by a newer record for the same fingerprint — the waste a
+    compaction targets, though :meth:`ResultsStore.compact` deliberately
+    leaves files it cannot fully interpret (foreign-schema or truncated
+    lines) untouched, so the counter can stay non-zero after compacting.
+    ``legacy_records`` counts the lines still living in a pre-sharding flat
+    ``results.jsonl``.  ``schema_versions`` lists every ``schema`` value
+    present, including versions this code cannot read — a store carrying
+    foreign versions after an upgrade/rollback is worth noticing in
+    nightly-sweep logs.
+    """
+
+    records: int
+    cells: int
+    captures: int
+    shard_files: int
+    legacy_records: int
+    superseded: int
+    total_bytes: int
+    #: Every distinct ``schema`` value found, foreign types included (a
+    #: record written by another tool may carry a string or float version).
+    schema_versions: Tuple[Any, ...]
+
+    def __str__(self) -> str:
+        versions = ", ".join(str(v) for v in self.schema_versions) or "(empty store)"
+        return (
+            f"{self.records} records ({self.cells} cells, {self.captures} captures), "
+            f"{self.shard_files} shard files, {self.legacy_records} legacy records, "
+            f"{self.superseded} superseded duplicates, {self.total_bytes} bytes, "
+            f"schema versions: {versions}"
+        )
 
 
 @dataclass(frozen=True)
@@ -276,6 +314,79 @@ class ResultsStore:
             records_kept=kept, superseded_dropped=superseded, legacy_migrated=migrated
         )
 
+    # ------------------------------------------------------------------ stats
+    @staticmethod
+    def _raw_records(path: Path) -> List[Dict[str, Any]]:
+        """Every parseable JSON record in ``path``, regardless of schema.
+
+        Unlike :meth:`_read_records` this keeps foreign-schema records, so
+        :meth:`stats` can report versions this code cannot serve.
+        """
+        records: List[Dict[str, Any]] = []
+        if not path.exists():
+            return records
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and isinstance(record.get("fingerprint"), str):
+                records.append(record)
+        return records
+
+    def stats(self) -> StoreStats:
+        """Aggregate store-health counters (see :class:`StoreStats`).
+
+        Reads every file once; intended for maintenance commands and
+        nightly-sweep logs, not the warm-sweep hot path.
+        """
+        shard_files = self._shard_files()
+        winners: Dict[str, Dict[str, Any]] = {}
+        superseded = 0
+        total_bytes = 0
+        schema_versions: set = set()
+        for path in shard_files:
+            total_bytes += path.stat().st_size
+            records = self._raw_records(path)
+            last: Dict[str, Dict[str, Any]] = {}
+            for record in records:
+                schema_versions.add(record.get("schema"))
+                last[record["fingerprint"]] = record
+            superseded += len(records) - len(last)
+            winners.update(last)
+        legacy_records = 0
+        if self.legacy_path.exists():
+            total_bytes += self.legacy_path.stat().st_size
+            records = self._raw_records(self.legacy_path)
+            legacy_records = len(records)
+            last = {}
+            for record in records:
+                schema_versions.add(record.get("schema"))
+                last[record["fingerprint"]] = record
+            superseded += len(records) - len(last)
+            for fingerprint, record in last.items():
+                if fingerprint in winners:
+                    superseded += 1  # the shard record shadows the legacy one
+                else:
+                    winners[fingerprint] = record
+        cells = sum(1 for r in winners.values() if r.get("kind", "cell") == "cell")
+        captures = sum(1 for r in winners.values() if r.get("kind") == "capture")
+        return StoreStats(
+            records=len(winners),
+            cells=cells,
+            captures=captures,
+            shard_files=len(shard_files),
+            legacy_records=legacy_records,
+            superseded=superseded,
+            total_bytes=total_bytes,
+            schema_versions=tuple(
+                sorted((v for v in schema_versions if v is not None), key=str)
+            ),
+        )
+
     # -------------------------------------------------------------- protocols
     def fingerprints(self) -> Iterator[str]:
         """All cached fingerprints (shards in path order, then legacy-only).
@@ -329,4 +440,4 @@ class ResultsStore:
         return f"ResultsStore(root={str(self._root)!r}, records={len(self)})"
 
 
-__all__ = ["CompactionStats", "ResultsStore"]
+__all__ = ["CompactionStats", "ResultsStore", "StoreStats"]

@@ -203,3 +203,54 @@ class TestCompaction:
         reopened = ResultsStore(store.root)
         assert reopened.get("abc", kind="capture") is not None
         assert reopened.get("abc") is None
+
+
+class TestStoreStats:
+    """``ResultsStore.stats()`` — the counters behind ``repro cache stats``."""
+
+    def test_empty_store(self, store):
+        stats = store.stats()
+        assert (stats.records, stats.shard_files, stats.legacy_records) == (0, 0, 0)
+        assert stats.total_bytes == 0
+        assert stats.schema_versions == ()
+        assert "(empty store)" in str(stats)
+
+    def test_counts_winners_kinds_and_superseded(self, store):
+        store.put("aaa1", {}, RESULT)
+        store.put("aaa1", {}, RESULT)  # superseded duplicate in the same shard
+        store.put("bbb2", {}, RESULT, kind="capture")
+        stats = store.stats()
+        assert stats.records == 2
+        assert (stats.cells, stats.captures) == (1, 1)
+        assert stats.shard_files == 2
+        assert stats.superseded == 1
+        assert stats.total_bytes > 0
+        assert stats.schema_versions == (SCHEMA_VERSION,)
+
+    def test_counts_legacy_records_and_shadowing(self, store):
+        write_legacy(store, [legacy_record("old1", RESULT), legacy_record("aaa1", RESULT)])
+        store.put("aaa1", {}, RESULT)  # shard record shadows the legacy one
+        stats = store.stats()
+        assert stats.records == 2  # old1 + aaa1
+        assert stats.legacy_records == 2
+        assert stats.superseded == 1
+
+    def test_reports_foreign_schema_versions(self, store):
+        """Stats must surface versions this code cannot serve (get() skips them)."""
+        store.put("aaa1", {}, RESULT)
+        foreign = store.shard_path("ccc3")
+        foreign.parent.mkdir(parents=True, exist_ok=True)
+        foreign.write_text(legacy_record("ccc3", RESULT, schema=SCHEMA_VERSION + 1) + "\n")
+        stats = store.stats()
+        assert stats.schema_versions == (SCHEMA_VERSION, SCHEMA_VERSION + 1)
+        assert str(SCHEMA_VERSION + 1) in str(stats)
+
+    def test_reports_non_integer_schema_versions(self, store):
+        """Foreign tools may write string/float versions; they must not vanish."""
+        store.put("aaa1", {}, RESULT)
+        foreign = store.shard_path("ddd4")
+        foreign.parent.mkdir(parents=True, exist_ok=True)
+        foreign.write_text(legacy_record("ddd4", RESULT, schema="2.experimental") + "\n")
+        stats = store.stats()
+        assert set(stats.schema_versions) == {SCHEMA_VERSION, "2.experimental"}
+        assert "2.experimental" in str(stats)

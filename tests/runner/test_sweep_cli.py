@@ -120,11 +120,16 @@ class TestMultiSeedCli:
         assert "[" in out and "]" in out
         assert "27 cells" in out  # 3 seeds: the 9-cell smoke grid tripled
 
-    def test_ci_without_enough_seeds_fails_cleanly(self, capsys):
-        assert main(["fig6", "--preset", "smoke", "--ci"]) == 2
+    def test_ci_without_enough_seeds_fails_at_parse_time(self, capsys):
+        """The bad combination is an argparse error, not a deep experiment one."""
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig6", "--preset", "smoke", "--ci"])
+        assert excinfo.value.code == 2
         err = capsys.readouterr().err
         assert "repro: error:" in err
-        assert "--seeds" in err
+        assert "--ci requires --seeds >= 2" in err
 
     def test_multi_seed_cache_round_trip(self, tmp_path, capsys):
         argv = [
