@@ -17,6 +17,8 @@ python -m repro sweep --experiments fig6 ablation_vit --scenario my_wan.toml
 python -m repro sweep --preset fast --seeds 5 --ci    # mean ± 95% CI per point
 python -m repro cache stats --cache-dir .sweep-cache  # store health counters
 python -m repro cache compact --cache-dir .sweep-cache
+python -m repro bench run --pr pr6 --output BENCH_pr6.json
+python -m repro bench compare BENCH_new.json BENCH_pr6.json --max-regression 0.2
 ```
 
 Every run accepts ``--jobs`` (worker processes for independent grid cells),
@@ -53,7 +55,15 @@ from repro.api import (
     run_experiment,
 )
 from repro.exceptions import ReproError
-from repro.runner import ResultsStore, SweepRunner, seed_range
+from repro.runner import (
+    DEFAULT_MAX_REGRESSION,
+    BenchResult,
+    ResultsStore,
+    SweepRunner,
+    compare,
+    run_bench,
+    seed_range,
+)
 
 #: Confidence level of the ``--ci`` bootstrap bands.
 CI_CONFIDENCE = 0.95
@@ -203,6 +213,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="also pool the cells of a declarative scenario file (repeatable)",
     )
 
+    bench = subcommands.add_parser(
+        "bench",
+        help="measure hot-path performance; write/compare BENCH_<pr>.json artifacts",
+    )
+    bench_sub = bench.add_subparsers(
+        dest="bench_command",
+        metavar="action",
+        required=True,
+        help="'run' the benchmark suite or 'compare' two artifacts",
+    )
+    bench_run = bench_sub.add_parser(
+        "run", help="time the capture kernels, event engine and a quick sweep"
+    )
+    bench_run.add_argument(
+        "--pr",
+        default="local",
+        help="label recorded in the artifact (e.g. pr6; default: local)",
+    )
+    bench_run.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the machine-readable artifact here (e.g. BENCH_pr6.json)",
+    )
+    bench_run.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="after running, compare against this committed artifact and exit "
+        "non-zero on regression",
+    )
+    bench_run.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        metavar="FRAC",
+        help="tolerated relative regression per metric for --baseline "
+        f"(default: {DEFAULT_MAX_REGRESSION})",
+    )
+    bench_run.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless the vectorized kernel beats the event engine by at "
+        "least this factor (CI uses 3; the target is 10)",
+    )
+    bench_run.add_argument(
+        "--metric",
+        dest="metrics",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="restrict the --baseline comparison to these metrics (repeatable; "
+        "default: the machine-independent ratio metrics)",
+    )
+    bench_run.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats, best-of (default: 3)"
+    )
+    bench_run.add_argument(
+        "--intervals",
+        type=int,
+        default=4000,
+        help="intervals per class in the capture benchmark (default: 4000)",
+    )
+    bench_run.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help=f"master seed (default: {DEFAULT_SEED})"
+    )
+    bench_compare = bench_sub.add_parser(
+        "compare", help="diff two benchmark artifacts with direction-aware tolerances"
+    )
+    bench_compare.add_argument("current", type=Path, help="the fresh BENCH json")
+    bench_compare.add_argument("baseline", type=Path, help="the committed BENCH json")
+    bench_compare.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        metavar="FRAC",
+        help=f"tolerated relative regression per metric (default: {DEFAULT_MAX_REGRESSION})",
+    )
+    bench_compare.add_argument(
+        "--metric",
+        dest="metrics",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="compare only these metrics (repeatable; default: every shared metric)",
+    )
+
     cache = subcommands.add_parser(
         "cache",
         help="maintain a persistent results store",
@@ -268,6 +369,60 @@ def _render_list() -> str:
     return "\n".join(lines)
 
 
+def _run_bench_command(args: argparse.Namespace) -> int:
+    """``repro bench run`` / ``repro bench compare``; returns the exit code.
+
+    Handled outside the generic report plumbing because ``--output`` here
+    names the JSON artifact (not a text report) and a regression must map to
+    a non-zero exit code for CI, not to usage error 2.
+    """
+    from repro.runner import RATIO_METRICS
+
+    if args.bench_command == "compare":
+        comparison = compare(
+            BenchResult.load(args.current),
+            BenchResult.load(args.baseline),
+            max_regression=args.max_regression,
+            metrics=args.metrics or None,
+        )
+        print(comparison.to_text())
+        return 0 if comparison.ok else 1
+
+    result = run_bench(
+        args.pr,
+        seed=args.seed,
+        capture_intervals=args.intervals,
+        repeats=args.repeats,
+    )
+    print(result.to_text())
+    if args.output is not None:
+        result.save(args.output)
+        print(f"benchmark artifact written to {args.output}")
+    exit_code = 0
+    if args.min_speedup is not None:
+        speedup = result.metrics["cold_capture_speedup"]
+        if speedup < args.min_speedup:
+            print(
+                f"FAIL: cold_capture_speedup {speedup:.2f}x is below the "
+                f"required {args.min_speedup:g}x",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        else:
+            print(f"speedup gate passed: {speedup:.2f}x >= {args.min_speedup:g}x")
+    if args.baseline is not None:
+        comparison = compare(
+            result,
+            BenchResult.load(args.baseline),
+            max_regression=args.max_regression,
+            metrics=args.metrics or list(RATIO_METRICS),
+        )
+        print(comparison.to_text())
+        if not comparison.ok:
+            exit_code = 1
+    return exit_code
+
+
 def _run_cache_command(args: argparse.Namespace) -> str:
     store = ResultsStore(args.cache_dir)
     if args.action == "compact":
@@ -302,6 +457,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "list":
             report = _render_list()
+        elif args.command == "bench":
+            return _run_bench_command(args)
         elif args.command == "cache":
             report = _run_cache_command(args)
         else:

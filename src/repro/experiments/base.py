@@ -39,6 +39,7 @@ analytical model and of the paper's testbed traffic generator.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
@@ -55,6 +56,7 @@ from repro.padding.gateway import SenderGateway
 from repro.padding.policies import PaddingPolicy, cit_policy
 from repro.padding.receiver import ReceiverGateway
 from repro.sim.engine import Simulator
+from repro.sim.kernel import simulate_padded_capture
 from repro.sim.random import RandomStreams
 from repro.traffic.sources import PoissonSource
 from repro.units import (
@@ -225,6 +227,45 @@ class PaddedStreamCapture:
 
 
 # --------------------------------------------------------------------------- collection
+#: Environment variable selecting the capture kernel: ``auto`` (default,
+#: vectorized whenever eligible), ``vectorized`` (strict — error if a capture
+#: cannot take the fast path) or ``event`` (always replay the event loop; the
+#: benchmark harness uses this as its scalar baseline).
+KERNEL_ENV_VAR = "REPRO_SIM_KERNEL"
+
+KERNEL_MODES = ("auto", "vectorized", "event")
+
+
+def resolve_kernel_mode(kernel: Optional[str] = None) -> str:
+    """Normalise the capture-kernel selection (argument beats environment)."""
+    mode = kernel if kernel is not None else os.environ.get(KERNEL_ENV_VAR, "auto")
+    mode = str(mode).strip().lower()
+    if mode not in KERNEL_MODES:
+        raise ConfigurationError(
+            f"kernel={mode!r} is not a capture kernel; choose one of {KERNEL_MODES} "
+            f"(set explicitly or via ${KERNEL_ENV_VAR})"
+        )
+    return mode
+
+
+def vectorized_capture_eligible(scenario: ScenarioConfig, with_network: bool) -> bool:
+    """Whether a capture can take the vectorized kernel without changing output.
+
+    The closed-form replay covers the no-network gateway pipeline (hybrid
+    captures and zero-hop simulations) with the standard
+    :class:`InterruptDisturbance` (or none).  Anything the kernel's
+    equivalence proof does not cover — routed paths with cross traffic,
+    disturbance subclasses with overridden sampling — falls back to the
+    event engine.
+    """
+    if with_network and scenario.n_hops > 0:
+        return False
+    disturbance = scenario.disturbance
+    if disturbance is not None and type(disturbance) is not InterruptDisturbance:
+        return False
+    return True
+
+
 def simulate_gateway_capture(
     scenario: ScenarioConfig,
     payload_rate_pps: float,
@@ -232,8 +273,66 @@ def simulate_gateway_capture(
     streams: RandomStreams,
     label: str,
     with_network: bool,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
-    """Run the event simulation for one payload rate and return tap intervals."""
+    """Simulate one payload rate's padded capture and return tap intervals.
+
+    Uses the vectorized closed-form kernel (:mod:`repro.sim.kernel`) whenever
+    the capture is eligible, falling back to the event engine otherwise; the
+    two produce byte-identical captures, so callers cannot observe which path
+    ran.  ``kernel`` (or the ``REPRO_SIM_KERNEL`` environment variable)
+    forces a specific path — ``event`` is the benchmark harness's scalar
+    baseline, ``vectorized`` is the strict mode used in equivalence tests.
+    """
+    mode = resolve_kernel_mode(kernel)
+    eligible = vectorized_capture_eligible(scenario, with_network)
+    if mode == "vectorized" and not eligible:
+        raise ConfigurationError(
+            f"kernel='vectorized' requested but the capture for class {label!r} is "
+            f"not eligible (networked path or non-standard disturbance)"
+        )
+    # Enough simulated time to capture warmup + the requested intervals, with
+    # a small margin for the packets still in flight across the path.
+    duration = scenario.warmup_time + (n_intervals + 20) * scenario.policy.mean_interval + 0.5
+
+    if eligible and mode != "event":
+        disturbance = scenario.disturbance
+        stamps = simulate_padded_capture(
+            interval_generator=scenario.policy.make_timer(),
+            payload_rate_pps=payload_rate_pps,
+            duration=duration,
+            timer_rng=streams.get(f"gateway-{label}"),
+            payload_rng=streams.get(f"payload-{label}"),
+            jitter_rng=streams.get(f"gateway-jitter-{label}"),
+            blocking_rng=streams.get(f"gateway-blocking-{label}"),
+            base_jitter_std=disturbance.base_jitter_std if disturbance else 0.0,
+            blocking_window=disturbance.blocking_window if disturbance else 0.0,
+            blocking_delay_mean=disturbance.blocking_delay_mean if disturbance else 0.0,
+        )
+        stamps = stamps[stamps >= scenario.warmup_time]
+        intervals = np.diff(stamps) if stamps.size >= 2 else np.empty(0, dtype=float)
+        if intervals.size < n_intervals:
+            raise ConfigurationError(
+                f"capture for class {label!r} produced only {intervals.size} intervals; "
+                f"{n_intervals} requested (increase the horizon margin)"
+            )
+        return intervals[:n_intervals]
+
+    return _simulate_gateway_capture_events(
+        scenario, payload_rate_pps, n_intervals, streams, label, with_network, duration
+    )
+
+
+def _simulate_gateway_capture_events(
+    scenario: ScenarioConfig,
+    payload_rate_pps: float,
+    n_intervals: int,
+    streams: RandomStreams,
+    label: str,
+    with_network: bool,
+    duration: float,
+) -> np.ndarray:
+    """The event-engine capture path (reference implementation)."""
     simulator = Simulator()
     tap = Tap(simulator, name=f"tap-{label}")
     receiver = ReceiverGateway(simulator)
@@ -272,6 +371,8 @@ def simulate_gateway_capture(
         interval_generator=scenario.policy.make_timer(),
         output=gateway_output,
         rng=streams.get(f"gateway-{label}"),
+        jitter_rng=streams.get(f"gateway-jitter-{label}"),
+        blocking_rng=streams.get(f"gateway-blocking-{label}"),
         disturbance=scenario.disturbance,
         dummy_size_bytes=scenario.packet_size_bytes,
     )
@@ -284,10 +385,6 @@ def simulate_gateway_capture(
     )
     gateway.start()
     source.start()
-
-    # Enough simulated time to capture warmup + the requested intervals, with
-    # a small margin for the packets still in flight across the path.
-    duration = scenario.warmup_time + (n_intervals + 20) * scenario.policy.mean_interval + 0.5
     simulator.run(until=duration)
     gateway.stop()
     source.stop()
@@ -398,7 +495,11 @@ def collect_labelled_intervals(
 
 __all__ = [
     "CollectionMode",
+    "KERNEL_ENV_VAR",
+    "KERNEL_MODES",
+    "resolve_kernel_mode",
     "resolve_seeds",
+    "vectorized_capture_eligible",
     "simulate_gateway_capture",
     "ScenarioConfig",
     "PaddedStreamCapture",

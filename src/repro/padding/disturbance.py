@@ -27,7 +27,7 @@ in the regime that reproduces the Figure 4(b) detection-rate curves (roughly
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -74,6 +74,9 @@ class InterruptDisturbance:
         rng: np.random.Generator,
         payload_arrival_times: Sequence[float],
         timer_due_at: float,
+        *,
+        jitter_rng: Optional[np.random.Generator] = None,
+        blocking_rng: Optional[np.random.Generator] = None,
     ) -> float:
         """Delay (seconds >= 0) applied to the timer interrupt due at ``timer_due_at``.
 
@@ -86,15 +89,25 @@ class InterruptDisturbance:
             interrupt (only those inside the blocking window matter).
         timer_due_at:
             The scheduled expiry time of the timer interrupt.
+        jitter_rng, blocking_rng:
+            Optional dedicated streams for the two mechanisms.  When given,
+            each mechanism's draws form a homogeneous sequence on its own
+            stream, which is what lets :mod:`repro.sim.kernel` batch them
+            into single array draws with byte-identical results.  Defaults to
+            ``rng`` for both (the historical single-stream behaviour).
         """
+        jitter_source = jitter_rng if jitter_rng is not None else rng
+        blocking_source = blocking_rng if blocking_rng is not None else rng
         delay = 0.0
         if self.base_jitter_std > 0.0:
-            delay += abs(float(rng.normal(0.0, self.base_jitter_std)))
+            delay += abs(float(jitter_source.normal(0.0, self.base_jitter_std)))
         if self.blocking_delay_mean > 0.0 and self.blocking_window > 0.0:
             window_start = timer_due_at - self.blocking_window
             blocking = sum(1 for t in payload_arrival_times if window_start <= t <= timer_due_at)
             if blocking:
-                delay += float(np.sum(rng.exponential(self.blocking_delay_mean, size=blocking)))
+                delay += float(
+                    np.sum(blocking_source.exponential(self.blocking_delay_mean, size=blocking))
+                )
         return delay
 
     # --------------------------------------------------------------- analytic

@@ -50,10 +50,16 @@ class SenderGateway:
         unprotected link/router or, in the zero-cross-traffic experiments, the
         adversary's tap directly.
     rng:
-        Random stream for the timer and the disturbance model.
+        Random stream for the timer and (by default) the disturbance model.
     disturbance:
         Gateway jitter model; pass ``None`` for an ideal (disturbance-free)
         gateway, which is useful in unit tests and as an ablation.
+    jitter_rng, blocking_rng:
+        Optional dedicated streams for the disturbance's scheduling-jitter and
+        interrupt-blocking draws.  When provided, each stream carries one
+        homogeneous draw sequence, making the event path byte-equivalent to
+        the vectorized kernel (:mod:`repro.sim.kernel`).  ``None`` keeps the
+        historical behaviour of drawing everything from ``rng``.
     max_queue_packets:
         Capacity of the payload queue; arrivals beyond it are dropped and
         counted.  ``None`` means unbounded.
@@ -74,6 +80,8 @@ class SenderGateway:
         max_queue_packets: Optional[int] = None,
         dummy_size_bytes: Optional[int] = None,
         name: str = "GW1",
+        jitter_rng: Optional[np.random.Generator] = None,
+        blocking_rng: Optional[np.random.Generator] = None,
     ) -> None:
         if not callable(output):
             raise PaddingError("gateway output must be callable")
@@ -83,6 +91,8 @@ class SenderGateway:
         self.interval_generator = interval_generator
         self.output = output
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.jitter_rng = jitter_rng
+        self.blocking_rng = blocking_rng
         self.disturbance = disturbance
         self.max_queue_packets = max_queue_packets
         self.dummy_size_bytes = dummy_size_bytes
@@ -155,7 +165,11 @@ class SenderGateway:
         delay = 0.0
         if self.disturbance is not None:
             delay = self.disturbance.sample_delay(
-                self.rng, self._arrivals_since_last_interrupt, due_at
+                self.rng,
+                self._arrivals_since_last_interrupt,
+                due_at,
+                jitter_rng=self.jitter_rng,
+                blocking_rng=self.blocking_rng,
             )
         self._arrivals_since_last_interrupt = [
             t for t in self._arrivals_since_last_interrupt if t > due_at

@@ -15,6 +15,21 @@ All generators guarantee strictly positive intervals — a draw at or below the
 floor is clipped, which slightly truncates extreme VIT settings but keeps the
 simulation physically meaningful.  The exact (untruncated) ``sigma_T`` remains
 available through :attr:`IntervalGenerator.std` for the analytical model.
+
+RNG-stream contract (relied on by the vectorized simulation kernel)
+-------------------------------------------------------------------
+Every generator draws **at most one** variate per :meth:`IntervalGenerator.
+sample` call, always from the ``rng`` it is handed, and never consults any
+other source of randomness or mutable state.  Because a ``numpy``
+``Generator`` fills array requests value-by-value from the same bit stream as
+repeated scalar calls, :meth:`IntervalGenerator.sample_batch` is guaranteed to
+return byte-identical values to ``size`` consecutive ``sample`` calls on the
+same stream — that equivalence is what lets
+:mod:`repro.sim.kernel` precompute whole firing-time arrays per epoch
+(:func:`firing_times`) instead of rescheduling timer events one at a time,
+without perturbing a single draw.  ``ConstantInterval`` consumes **zero**
+draws per sample; any refactor that makes a family consume a different number
+of draws per interval breaks cached captures and fingerprint stability tests.
 """
 
 from __future__ import annotations
@@ -69,6 +84,19 @@ class IntervalGenerator:
         """Draw the next timer interval (seconds, strictly positive)."""
         raise NotImplementedError
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` consecutive intervals as one array.
+
+        Byte-identical to ``size`` successive :meth:`sample` calls on the same
+        ``rng`` (see the module docstring for why the built-in families can
+        vectorize this).  The base-class fallback literally loops ``sample``
+        so that custom subclasses inherit the identity guarantee for free;
+        built-in families override it with a single numpy array draw.
+        """
+        if size < 0:
+            raise PaddingError(f"sample_batch size must be >= 0, got {size!r}")
+        return np.array([self.sample(rng) for _ in range(size)], dtype=float)
+
     def _clip(self, value: float) -> float:
         return max(float(value), MIN_INTERVAL_S)
 
@@ -87,6 +115,11 @@ class ConstantInterval(IntervalGenerator):
     def sample(self, rng: np.random.Generator) -> float:
         return self.mean
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if size < 0:
+            raise PaddingError(f"sample_batch size must be >= 0, got {size!r}")
+        return np.full(size, self.mean, dtype=float)
+
 
 class NormalInterval(IntervalGenerator):
     """VIT with normally distributed intervals (the paper's VIT model)."""
@@ -100,6 +133,13 @@ class NormalInterval(IntervalGenerator):
         if self.std == 0.0:
             return self.mean
         return self._clip(rng.normal(self.mean, self.std))
+
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if size < 0:
+            raise PaddingError(f"sample_batch size must be >= 0, got {size!r}")
+        if self.std == 0.0:
+            return np.full(size, self.mean, dtype=float)
+        return np.maximum(rng.normal(self.mean, self.std, size=size), MIN_INTERVAL_S)
 
 
 class UniformInterval(IntervalGenerator):
@@ -126,6 +166,14 @@ class UniformInterval(IntervalGenerator):
             return self.mean
         return self._clip(rng.uniform(self.mean - self.half_width, self.mean + self.half_width))
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if size < 0:
+            raise PaddingError(f"sample_batch size must be >= 0, got {size!r}")
+        if self.std == 0.0:
+            return np.full(size, self.mean, dtype=float)
+        draws = rng.uniform(self.mean - self.half_width, self.mean + self.half_width, size=size)
+        return np.maximum(draws, MIN_INTERVAL_S)
+
 
 class ExponentialInterval(IntervalGenerator):
     """VIT with shifted-exponential intervals.
@@ -151,6 +199,13 @@ class ExponentialInterval(IntervalGenerator):
             return self.mean
         return self._clip(self.offset + rng.exponential(self.std))
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if size < 0:
+            raise PaddingError(f"sample_batch size must be >= 0, got {size!r}")
+        if self.std == 0.0:
+            return np.full(size, self.mean, dtype=float)
+        return np.maximum(self.offset + rng.exponential(self.std, size=size), MIN_INTERVAL_S)
+
 
 class LognormalInterval(IntervalGenerator):
     """VIT with log-normally distributed intervals.
@@ -175,6 +230,13 @@ class LognormalInterval(IntervalGenerator):
         if self.std == 0.0:
             return self.mean
         return self._clip(rng.lognormal(self._mu, self._sigma))
+
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if size < 0:
+            raise PaddingError(f"sample_batch size must be >= 0, got {size!r}")
+        if self.std == 0.0:
+            return np.full(size, self.mean, dtype=float)
+        return np.maximum(rng.lognormal(self._mu, self._sigma, size=size), MIN_INTERVAL_S)
 
 
 _FAMILIES = {

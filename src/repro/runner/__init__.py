@@ -16,6 +16,18 @@ warm-cache sweeps.
 """
 
 from repro.exceptions import SweepError
+from repro.runner.bench import (
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_MAX_REGRESSION,
+    RATIO_METRICS,
+    BenchComparison,
+    BenchResult,
+    MetricComparison,
+    collect_machine_info,
+    compare,
+    metric_direction,
+    run_bench,
+)
 from repro.runner.capture import (
     CaptureResult,
     CaptureSpec,
@@ -45,7 +57,17 @@ from repro.runner.runner import SweepReport, SweepRunner
 from repro.runner.store import CompactionStats, ResultsStore, StoreStats
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchComparison",
+    "BenchResult",
     "DEFAULT_FEATURES",
+    "DEFAULT_MAX_REGRESSION",
+    "MetricComparison",
+    "RATIO_METRICS",
+    "collect_machine_info",
+    "compare",
+    "metric_direction",
+    "run_bench",
     "KDE_BANDWIDTH_RULES",
     "SCHEMA_VERSION",
     "SEED_TAG",

@@ -1,0 +1,434 @@
+"""Performance benchmark harness: timings as a first-class, regression-gated artifact.
+
+``repro bench run`` measures the hot paths of the reproduction — the gateway
+capture under both kernels, the raw event engine, and a representative sweep
+cold and warm — and writes a machine-readable ``BENCH_<pr>.json``
+(:class:`BenchResult`).  ``repro bench compare`` diffs two such files with
+direction-aware tolerances so CI can fail on a >20% regression against the
+baseline checked into the repository.
+
+Three design rules keep the artifact honest across machines:
+
+* **The headline speedups are measured within one run.**
+  ``cold_capture_speedup`` divides the event-engine capture time by the
+  vectorized-kernel time for the *same* capture (forced via the ``kernel``
+  argument of :func:`repro.experiments.base.simulate_gateway_capture`), and
+  ``sweep_warm_speedup`` divides a cold sweep by its warm re-run against the
+  same store.  Ratios of timings taken seconds apart on one machine are
+  meaningful on any machine; absolute seconds are not.
+* **Metric names encode their direction.**  ``*_seconds`` regress upward,
+  ``*_speedup`` / ``*_per_sec`` regress downward; :func:`metric_direction`
+  refuses names that encode neither, so a typo cannot silently pass CI.
+* **Results carry an analytic cross-check.**  The benchmark capture's
+  measured variance ratio is compared against the scenario's closed-form
+  model and pushed through :mod:`repro.core.exact` — a benchmark that got
+  fast by computing the wrong thing fails loudly.
+
+See ``docs/performance.md`` for the profiling recipe and how to read the
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Version of the ``BENCH_*.json`` schema; bump on incompatible layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default tolerated relative regression before :func:`compare` fails (20%).
+DEFAULT_MAX_REGRESSION = 0.2
+
+#: Metrics that are ratios of same-run timings, hence machine-independent.
+#: CI compares only these against the committed baseline; absolute timings
+#: are recorded for trend lines but never gate a differently-sized runner.
+RATIO_METRICS = ("cold_capture_speedup", "sweep_warm_speedup")
+
+
+def metric_direction(name: str) -> str:
+    """``'lower'`` or ``'higher'`` — which way the metric is better.
+
+    Encoded in the name suffix so a new metric cannot enter the schema
+    without declaring its direction.
+    """
+    if name.endswith("_seconds"):
+        return "lower"
+    if name.endswith("_speedup") or name.endswith("_per_sec"):
+        return "higher"
+    raise ConfigurationError(
+        f"benchmark metric {name!r} must end in '_seconds' (lower is better) "
+        "or '_speedup'/'_per_sec' (higher is better)"
+    )
+
+
+def collect_machine_info() -> Dict[str, Any]:
+    """The environment fingerprint stored alongside every benchmark run."""
+    import os
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark run: metrics plus enough context to interpret them."""
+
+    pr: str
+    created_utc: str
+    machine: Dict[str, Any]
+    metrics: Dict[str, float]
+    notes: Dict[str, Any] = field(default_factory=dict)
+    schema: int = BENCH_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.metrics:
+            raise ConfigurationError("a benchmark result needs at least one metric")
+        for name, value in self.metrics.items():
+            metric_direction(name)  # validates the naming convention
+            if not np.isfinite(value) or value < 0.0:
+                raise ConfigurationError(
+                    f"benchmark metric {name!r} must be finite and >= 0, got {value!r}"
+                )
+
+    # ------------------------------------------------------------------ (de)serialisation
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "pr": self.pr,
+            "created_utc": self.created_utc,
+            "machine": dict(self.machine),
+            "metrics": {name: float(value) for name, value in self.metrics.items()},
+            "notes": dict(self.notes),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "BenchResult":
+        schema = payload.get("schema")
+        if schema != BENCH_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported benchmark schema {schema!r}; this build reads "
+                f"schema {BENCH_SCHEMA_VERSION}"
+            )
+        try:
+            return cls(
+                pr=str(payload["pr"]),
+                created_utc=str(payload["created_utc"]),
+                machine=dict(payload["machine"]),
+                metrics={str(k): float(v) for k, v in payload["metrics"].items()},
+                notes=dict(payload.get("notes", {})),
+                schema=int(schema),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed benchmark payload: {exc}") from exc
+
+    def save(self, path: Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: Path) -> "BenchResult":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"cannot read benchmark file {path}: {exc}") from exc
+        return cls.from_json_dict(payload)
+
+    # ------------------------------------------------------------------ rendering
+    def to_text(self) -> str:
+        lines = [f"benchmark {self.pr} ({self.created_utc})"]
+        width = max(len(name) for name in self.metrics)
+        for name in sorted(self.metrics):
+            value = self.metrics[name]
+            arrow = "↓" if metric_direction(name) == "lower" else "↑"
+            lines.append(f"  {name.ljust(width)}  {value:>12.4f}  (better {arrow})")
+        if self.notes:
+            lines.append(f"  notes: {json.dumps(self.notes, sort_keys=True)}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's current-vs-baseline verdict."""
+
+    name: str
+    current: float
+    baseline: float
+    direction: str
+    #: Relative change in the *bad* direction; negative values are improvements.
+    regression: float
+    regressed: bool
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """The full diff of two benchmark results."""
+
+    rows: Tuple[MetricComparison, ...]
+    #: Metric names present in only one of the two results (not compared).
+    skipped: Tuple[str, ...]
+    max_regression: float
+
+    @property
+    def ok(self) -> bool:
+        return not any(row.regressed for row in self.rows)
+
+    @property
+    def regressions(self) -> Tuple[MetricComparison, ...]:
+        return tuple(row for row in self.rows if row.regressed)
+
+    def to_text(self) -> str:
+        lines = [
+            f"benchmark comparison (tolerance {self.max_regression:.0%} in the bad direction)"
+        ]
+        width = max((len(row.name) for row in self.rows), default=10)
+        for row in sorted(self.rows, key=lambda r: r.name):
+            verdict = "REGRESSED" if row.regressed else (
+                "improved" if row.regression < -1e-9 else "ok"
+            )
+            lines.append(
+                f"  {row.name.ljust(width)}  {row.baseline:>12.4f} -> {row.current:>12.4f}"
+                f"  ({row.regression:+.1%} worse)  {verdict}"
+            )
+        for name in self.skipped:
+            lines.append(f"  {name.ljust(width)}  present in only one result; skipped")
+        lines.append("PASS" if self.ok else "FAIL: benchmark regression detected")
+        return "\n".join(lines)
+
+
+def compare(
+    current: BenchResult,
+    baseline: Optional[BenchResult],
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    metrics: Optional[Sequence[str]] = None,
+) -> BenchComparison:
+    """Direction-aware diff of ``current`` against ``baseline``.
+
+    ``regression`` is the relative change in each metric's *bad* direction
+    (time increase for ``*_seconds``, throughput/speedup decrease otherwise),
+    so improvements come out negative and a single tolerance covers both
+    families.  A missing baseline (first run on a branch) compares nothing
+    and passes; metrics present on only one side are listed as skipped.
+    ``metrics`` restricts the comparison — CI passes :data:`RATIO_METRICS`
+    so absolute seconds from a different machine never gate a build.
+    """
+    if max_regression < 0.0:
+        raise ConfigurationError(f"max_regression must be >= 0, got {max_regression!r}")
+    if baseline is None:
+        return BenchComparison(rows=(), skipped=(), max_regression=max_regression)
+    names = set(current.metrics) | set(baseline.metrics)
+    if metrics is not None:
+        unknown = set(metrics) - names
+        if unknown:
+            raise ConfigurationError(
+                f"--metric {sorted(unknown)} not present in either result; "
+                f"known metrics: {sorted(names)}"
+            )
+        names = set(metrics)
+    rows: List[MetricComparison] = []
+    skipped: List[str] = []
+    for name in sorted(names):
+        if name not in current.metrics or name not in baseline.metrics:
+            skipped.append(name)
+            continue
+        cur, base = current.metrics[name], baseline.metrics[name]
+        direction = metric_direction(name)
+        if base == 0.0:
+            regression = 0.0 if cur == 0.0 else (1.0 if direction == "lower" else -1.0)
+        elif direction == "lower":
+            regression = (cur - base) / base
+        else:
+            regression = (base - cur) / base
+        rows.append(
+            MetricComparison(
+                name=name,
+                current=cur,
+                baseline=base,
+                direction=direction,
+                regression=regression,
+                regressed=regression > max_regression,
+            )
+        )
+    return BenchComparison(
+        rows=tuple(rows), skipped=tuple(skipped), max_regression=max_regression
+    )
+
+
+# --------------------------------------------------------------------------- measurement
+def _best_of(repeats: int, fn: Callable[[], Any]) -> Tuple[float, Any]:
+    """Minimum wall-clock over ``repeats`` calls (the standard noise filter)."""
+    best, result = float("inf"), None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _time_capture(scenario, n_intervals: int, seed: int, kernel: str, repeats: int):
+    from repro.experiments.base import simulate_gateway_capture
+    from repro.sim.random import RandomStreams
+
+    def one_run() -> Dict[str, np.ndarray]:
+        streams = RandomStreams(seed)
+        return {
+            label: simulate_gateway_capture(
+                scenario, rate, n_intervals, streams, label,
+                with_network=False, kernel=kernel,
+            )
+            for label, rate in scenario.rate_labels.items()
+        }
+
+    return _best_of(repeats, one_run)
+
+
+def _time_engine(n_events: int, repeats: int) -> float:
+    """Raw engine throughput: heap insertion + dispatch of no-op events."""
+    from repro.sim.engine import Simulator
+
+    times = np.linspace(0.0, 1.0, n_events, endpoint=False) + 1e-6
+
+    def one_run() -> None:
+        simulator = Simulator()
+        simulator.schedule_batch(times, lambda: None)
+        simulator.run(until=2.0)
+
+    elapsed, _ = _best_of(repeats, one_run)
+    return elapsed
+
+
+def _time_sweep(seed: int) -> Tuple[float, float, int]:
+    """Cold + warm wall-clock of a representative sweep against a fresh store."""
+    from repro.api import get_experiment
+    from repro.runner.runner import SweepRunner
+    from repro.runner.store import ResultsStore
+
+    experiment = get_experiment("fig6", "quick", seed)
+    cells = experiment.cells()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        store = ResultsStore(Path(tmp))
+        cold_start = time.perf_counter()
+        SweepRunner(store=store).run(cells)
+        cold = time.perf_counter() - cold_start
+        warm_start = time.perf_counter()
+        report = SweepRunner(store=store).run(cells)
+        warm = time.perf_counter() - warm_start
+        if report.misses:
+            raise ConfigurationError(
+                f"warm sweep re-simulated {report.misses} cells; the store is "
+                "not resolving fingerprints (cache regression)"
+            )
+    return cold, warm, len(cells)
+
+
+def run_bench(
+    pr: str,
+    *,
+    seed: int = 2003,
+    capture_intervals: int = 4000,
+    engine_events: int = 50_000,
+    repeats: int = 3,
+) -> BenchResult:
+    """Measure the hot paths and return the benchmark artifact.
+
+    The capture benchmark runs the same two-class gateway capture under the
+    forced ``event`` and ``vectorized`` kernels from identical seeds, checks
+    the outputs are byte-identical (the kernel contract), and cross-checks
+    the measured variance ratio against the closed forms in
+    :mod:`repro.core.exact`.
+    """
+    from repro.core.exact import detection_rate_variance_exact
+    from repro.experiments.base import ScenarioConfig
+
+    scenario = ScenarioConfig()
+    event_seconds, event_captures = _time_capture(
+        scenario, capture_intervals, seed, "event", repeats
+    )
+    vectorized_seconds, vectorized_captures = _time_capture(
+        scenario, capture_intervals, seed, "vectorized", repeats
+    )
+    identical = all(
+        np.array_equal(event_captures[label], vectorized_captures[label])
+        for label in event_captures
+    )
+    if not identical:
+        raise ConfigurationError(
+            "event and vectorized kernels produced different captures; the "
+            "benchmark refuses to report a speedup for a broken kernel"
+        )
+
+    engine_seconds = _time_engine(engine_events, repeats)
+    sweep_cold, sweep_warm, n_cells = _time_sweep(seed)
+
+    low = float(np.var(vectorized_captures["low"], ddof=1))
+    high = float(np.var(vectorized_captures["high"], ddof=1))
+    measured_r = high / low
+    model_r = scenario.variance_ratio()
+
+    metrics = {
+        "capture_event_seconds": event_seconds,
+        "capture_vectorized_seconds": vectorized_seconds,
+        "cold_capture_speedup": event_seconds / vectorized_seconds,
+        "kernel_intervals_per_sec": 2 * capture_intervals / vectorized_seconds,
+        "engine_events_per_sec": engine_events / engine_seconds,
+        "sweep_cold_seconds": sweep_cold,
+        "sweep_warm_seconds": sweep_warm,
+        "sweep_warm_speedup": sweep_cold / sweep_warm,
+        "sweep_cells_per_sec": n_cells / sweep_cold,
+    }
+    notes = {
+        "capture_intervals": capture_intervals,
+        "engine_events": engine_events,
+        "repeats": repeats,
+        "seed": seed,
+        "sweep": "fig6 --preset quick",
+        "sweep_cells": n_cells,
+        "captures_identical": identical,
+        "analytic_crosscheck": {
+            "measured_variance_ratio": measured_r,
+            "model_variance_ratio": model_r,
+            "exact_detection_rate_at_1000": detection_rate_variance_exact(
+                measured_r, 1000
+            ),
+        },
+    }
+    return BenchResult(
+        pr=pr,
+        created_utc=datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        machine=collect_machine_info(),
+        metrics=metrics,
+        notes=notes,
+    )
+
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_MAX_REGRESSION",
+    "RATIO_METRICS",
+    "BenchComparison",
+    "BenchResult",
+    "MetricComparison",
+    "collect_machine_info",
+    "compare",
+    "metric_direction",
+    "run_bench",
+]

@@ -10,11 +10,19 @@ draws from its *own* named stream.  Streams are spawned from a single master
   by existing components, and
 * streams are statistically independent by construction
   (``SeedSequence.spawn`` guarantees this).
+
+The performance-critical property this module leans on is that a numpy
+``Generator`` consumes its bit stream value-by-value: ``rng.normal(m, s,
+size=n)`` returns exactly the values of ``n`` successive scalar
+``rng.normal(m, s)`` calls, and chunked array calls concatenate to one big
+call.  :class:`ChunkedDraws` packages that guarantee so hot loops can keep
+scalar call sites while paying numpy's per-call overhead once per chunk
+instead of once per draw.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -92,4 +100,61 @@ class RandomStreams:
         return f"RandomStreams(seed={self._seed!r}, streams={len(self._generators)})"
 
 
-__all__ = ["RandomStreams"]
+class ChunkedDraws:
+    """Scalar draws served from batched numpy calls, bit-identical to scalar use.
+
+    Wraps one distribution method of one ``Generator`` and refills an internal
+    buffer ``chunk`` values at a time.  Because numpy fills array requests
+    from the same bit stream as repeated scalar calls, the sequence returned
+    by :meth:`next` is byte-for-byte the sequence ``float(rng.<dist>(*args))``
+    would have produced — only ~50x cheaper per draw.
+
+    The wrapped generator must be used **exclusively** through this buffer:
+    interleaving direct draws on the same ``rng`` would observe a stream that
+    has already advanced past the buffered values.  That is why every consumer
+    in this repository owns a dedicated named stream.
+
+    Parameters
+    ----------
+    rng:
+        The generator to draw from (takes exclusive ownership).
+    distribution:
+        Name of the ``Generator`` method to call (``"exponential"``,
+        ``"normal"``, ...).
+    args:
+        Positional parameters of the distribution (e.g. the scale).
+    chunk:
+        Buffer size; any positive value yields the identical sequence.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        distribution: str,
+        args: Tuple[float, ...],
+        chunk: int = 1024,
+    ) -> None:
+        if chunk <= 0:
+            raise ValueError(f"chunk must be positive, got {chunk!r}")
+        method = getattr(rng, distribution, None)
+        if not callable(method):
+            raise ValueError(f"generator has no distribution method {distribution!r}")
+        self._method = method
+        self._args = tuple(args)
+        self._chunk = int(chunk)
+        self._buffer = np.empty(0, dtype=float)
+        self._index = 0
+
+    def next(self) -> float:
+        """The next value of the stream (refilling the buffer when drained)."""
+        if self._index >= self._buffer.size:
+            self._buffer = self._method(*self._args, size=self._chunk)
+            self._index = 0
+        value = self._buffer[self._index]
+        self._index += 1
+        return float(value)
+
+    __call__ = next
+
+
+__all__ = ["RandomStreams", "ChunkedDraws"]

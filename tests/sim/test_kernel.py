@@ -1,0 +1,196 @@
+"""Equivalence and contract tests for the vectorized capture kernel.
+
+The load-bearing guarantee of :mod:`repro.sim.kernel` is *byte-identity*: for
+every eligible scenario the closed-form capture must equal the event-engine
+capture exactly, not approximately, because cached sweep results are
+fingerprinted on configuration and silently switching kernels must never
+change a figure.  These tests pin that guarantee across every timer family,
+the disturbance on/off matrix, the kernel-selection plumbing, and the
+constants the kernel mirrors from the gateway and source modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.experiments.base import (
+    KERNEL_ENV_VAR,
+    ScenarioConfig,
+    resolve_kernel_mode,
+    simulate_gateway_capture,
+    vectorized_capture_eligible,
+)
+from repro.padding.disturbance import InterruptDisturbance
+from repro.padding.gateway import _MIN_TX_SPACING_S
+from repro.padding.policies import cit_policy, vit_policy
+from repro.sim import kernel
+from repro.sim.random import RandomStreams
+
+
+def _capture(scenario: ScenarioConfig, kernel_mode: str, n: int = 800, seed: int = 42):
+    streams = RandomStreams(seed)
+    return {
+        label: simulate_gateway_capture(
+            scenario, rate, n, streams, label, with_network=False, kernel=kernel_mode
+        )
+        for label, rate in scenario.rate_labels.items()
+    }
+
+
+class TestByteIdentity:
+    """vectorized == event, bit for bit, for every eligible configuration."""
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            cit_policy(),
+            vit_policy(sigma_t=1e-3),
+            vit_policy(sigma_t=1e-3, family="uniform"),
+            vit_policy(sigma_t=1e-3, family="exponential"),
+            vit_policy(sigma_t=1e-3, family="lognormal"),
+        ],
+        ids=["cit", "vit-normal", "vit-uniform", "vit-exponential", "vit-lognormal"],
+    )
+    def test_every_timer_family_matches(self, policy):
+        scenario = ScenarioConfig(policy=policy)
+        event = _capture(scenario, "event")
+        vectorized = _capture(scenario, "vectorized")
+        for label in ("low", "high"):
+            assert np.array_equal(event[label], vectorized[label]), label
+
+    def test_disturbance_free_gateway_matches(self):
+        scenario = ScenarioConfig(disturbance=None)
+        event = _capture(scenario, "event")
+        vectorized = _capture(scenario, "vectorized")
+        for label in ("low", "high"):
+            assert np.array_equal(event[label], vectorized[label])
+
+    def test_extreme_vit_exercises_the_spacing_clamp(self):
+        """sigma_T near the mean makes tiny interval draws: the clamp fires."""
+        scenario = ScenarioConfig(policy=vit_policy(sigma_t=9e-3))
+        event = _capture(scenario, "event", n=600)
+        vectorized = _capture(scenario, "vectorized", n=600)
+        for label in ("low", "high"):
+            assert np.array_equal(event[label], vectorized[label])
+
+
+class TestKernelSelection:
+    def test_resolve_prefers_argument_over_environment(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "event")
+        assert resolve_kernel_mode("vectorized") == "vectorized"
+        assert resolve_kernel_mode() == "event"
+        monkeypatch.delenv(KERNEL_ENV_VAR)
+        assert resolve_kernel_mode() == "auto"
+
+    def test_resolve_rejects_unknown_modes(self):
+        with pytest.raises(ConfigurationError):
+            resolve_kernel_mode("turbo")
+
+    def test_networked_paths_are_ineligible(self):
+        scenario = ScenarioConfig(n_hops=3, cross_utilization=0.2)
+        assert not vectorized_capture_eligible(scenario, with_network=True)
+        # The same scenario without the routed path is eligible (hybrid mode).
+        assert vectorized_capture_eligible(scenario, with_network=False)
+
+    def test_disturbance_subclasses_are_ineligible(self):
+        class CustomDisturbance(InterruptDisturbance):
+            pass
+
+        scenario = ScenarioConfig(disturbance=CustomDisturbance())
+        assert not vectorized_capture_eligible(scenario, with_network=False)
+
+    def test_strict_vectorized_raises_when_ineligible(self):
+        scenario = ScenarioConfig(n_hops=2, cross_utilization=0.2)
+        streams = RandomStreams(1)
+        with pytest.raises(ConfigurationError):
+            simulate_gateway_capture(
+                scenario, 10.0, 50, streams, "low", with_network=True, kernel="vectorized"
+            )
+
+    def test_auto_falls_back_to_the_event_engine(self):
+        scenario = ScenarioConfig(n_hops=1, cross_utilization=0.1)
+        intervals = simulate_gateway_capture(
+            scenario, 10.0, 50, RandomStreams(1), "low", with_network=True, kernel="auto"
+        )
+        assert intervals.shape == (50,)
+
+
+class TestMirroredConstants:
+    """The kernel duplicates two constants to avoid upward imports; pin them."""
+
+    def test_min_tx_spacing_matches_the_gateway(self):
+        assert kernel.MIN_TX_SPACING_S == _MIN_TX_SPACING_S
+
+    def test_min_payload_gap_matches_the_source(self):
+        from repro.sim.engine import Simulator
+        from repro.traffic.sources import PoissonSource
+
+        # The source floors every gap at its minimum; the kernel must use the
+        # same floor.  Exercise the floor with a huge rate, where raw
+        # exponential draws routinely undercut any fixed epsilon.
+        source = PoissonSource(
+            Simulator(), lambda p: None, 1e15, rng=np.random.default_rng(0)
+        )
+        gaps = [source._next_interval() for _ in range(2000)]
+        assert min(gaps) == kernel.MIN_PAYLOAD_GAP_S
+
+
+class TestKernelPrimitives:
+    def test_blocking_counts_windows_do_not_double_count(self):
+        arrivals = np.array([0.5, 1.1, 1.9, 2.05, 2.9])
+        due = np.array([1.0, 2.0, 3.0])
+        # Window covers [due-0.15, due]; arrivals before the previous due
+        # time are excluded even when the window would reach back to them.
+        counts = kernel.blocking_counts(arrivals, due, window=0.15)
+        assert counts.tolist() == [0, 1, 1]
+        # A huge window never re-counts across interrupts.
+        assert kernel.blocking_counts(arrivals, due, window=10.0).tolist() == [1, 2, 2]
+
+    def test_clamp_is_identity_for_well_spaced_times(self):
+        times = np.array([0.0, 1.0, 2.0])
+        assert kernel.clamp_min_spacing(times) is times
+
+    def test_clamp_fixes_violations_sequentially(self):
+        times = np.array([0.0, 1.0, 1.0, 1.0])
+        clamped = kernel.clamp_min_spacing(times, spacing=0.5)
+        assert clamped.tolist() == [0.0, 1.0, 1.5, 2.0]
+        assert times.tolist() == [0.0, 1.0, 1.0, 1.0]  # input untouched
+
+    def test_poisson_rate_zero_yields_no_arrivals(self):
+        rng = np.random.default_rng(0)
+        assert kernel.poisson_arrival_times(rng, 0.0, 100.0).size == 0
+
+    def test_capture_requires_jitter_stream_when_jitter_enabled(self):
+        with pytest.raises(SimulationError):
+            kernel.simulate_padded_capture(
+                interval_generator=cit_policy().make_timer(),
+                payload_rate_pps=10.0,
+                duration=1.0,
+                timer_rng=np.random.default_rng(0),
+                payload_rng=np.random.default_rng(1),
+                base_jitter_std=1e-5,
+            )
+
+
+class TestSampleBatchContract:
+    """sample_batch(rng, n) must equal n scalar sample() calls, bit for bit."""
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            cit_policy(),
+            vit_policy(sigma_t=1e-3),
+            vit_policy(sigma_t=1e-3, family="uniform"),
+            vit_policy(sigma_t=1e-3, family="exponential"),
+            vit_policy(sigma_t=1e-3, family="lognormal"),
+        ],
+        ids=["cit", "normal", "uniform", "exponential", "lognormal"],
+    )
+    def test_batch_equals_scalar_stream(self, policy):
+        generator = policy.make_timer()
+        batch = generator.sample_batch(np.random.default_rng(7), 500)
+        scalar_rng = np.random.default_rng(7)
+        scalars = np.array([generator.sample(scalar_rng) for _ in range(500)])
+        assert np.array_equal(batch, scalars)

@@ -291,3 +291,59 @@ class TestCacheStats:
         out = capsys.readouterr().out
         assert "0 records" in out
         assert "(empty store)" in out
+
+
+class TestBenchCommand:
+    """repro bench run / compare, exercised end-to-end at miniature sizes."""
+
+    MINI = ["bench", "run", "--intervals", "400", "--repeats", "1"]
+
+    def test_run_writes_the_artifact_and_gates_on_speedup(self, tmp_path, capsys):
+        from repro.runner import BenchResult
+
+        artifact = tmp_path / "BENCH_test.json"
+        code = main(self.MINI + ["--pr", "test", "--output", str(artifact), "--min-speedup", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "speedup gate passed" in out
+        assert BenchResult.load(artifact).pr == "test"
+
+    def test_unreachable_min_speedup_fails(self, capsys):
+        code = main(self.MINI + ["--min-speedup", "1e9"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "below the required" in captured.err
+
+    def test_compare_detects_a_synthetic_regression(self, tmp_path, capsys):
+        import json
+
+        from repro.runner import BenchResult, collect_machine_info
+
+        current = BenchResult(
+            pr="t", created_utc="2026-08-07T00:00:00Z",
+            machine=collect_machine_info(),
+            metrics={"cold_capture_speedup": 10.0},
+        )
+        doctored = BenchResult(
+            pr="t", created_utc="2026-08-07T00:00:00Z",
+            machine=collect_machine_info(),
+            metrics={"cold_capture_speedup": 100.0},
+        )
+        current_path, baseline_path = tmp_path / "cur.json", tmp_path / "base.json"
+        current.save(current_path)
+        doctored.save(baseline_path)
+        assert main(["bench", "compare", str(current_path), str(baseline_path)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        assert main(["bench", "compare", str(current_path), str(current_path)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_committed_artifact_is_loadable_and_fast(self):
+        """The repo's own BENCH_pr6.json parses and records the >=3x speedup."""
+        from pathlib import Path
+
+        from repro.runner import BenchResult
+
+        artifact = Path(__file__).resolve().parents[1] / "BENCH_pr6.json"
+        result = BenchResult.load(artifact)
+        assert result.metrics["cold_capture_speedup"] >= 3.0
+        assert result.notes["captures_identical"] is True
