@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.exceptions import AnalysisError
 from repro.sim.engine import Simulator
+from repro.sim.random import derived_rng
 from repro.traffic.packet import Packet
 
 
@@ -50,7 +51,7 @@ class Tap:
             raise AnalysisError("capture_jitter_std must be >= 0")
         self.simulator = simulator
         self.capture_jitter_std = float(capture_jitter_std)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else derived_rng(f"tap-{name}")
         self.name = name
         self._timestamps: List[float] = []
 

@@ -1,0 +1,75 @@
+"""Findings: what an analysis rule reports.
+
+A :class:`Finding` is one violation of one rule at one source location.  It
+is deliberately a plain value object — rules produce findings, the checker
+filters them against the baseline, and the CLI renders whatever survives as
+human-readable text or machine-readable JSON.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+class Severity(str, enum.Enum):
+    """How a finding affects the exit code.
+
+    ``ERROR`` findings fail ``repro check``; ``WARNING`` findings are
+    reported but do not change the exit code.  Every shipped rule is an
+    error: a determinism contract that only warns is not enforced.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        The rule identifier, e.g. ``"RNG001"``.
+    severity:
+        Whether the finding fails the check.
+    path:
+        POSIX path of the offending file, relative to the checked root
+        (e.g. ``"repro/stats/bootstrap.py"``).
+    line:
+        1-based source line, or 0 for file- or project-level findings.
+    message:
+        Human-readable description of the violation and what to do instead.
+    context:
+        The offending construct (a call spelling, a stream name, a field
+        name).  Baseline entries match on substrings of this, so the match
+        survives line-number drift.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+    context: str = ""
+
+    @property
+    def location(self) -> str:
+        """``path:line`` (or just ``path`` for file-level findings)."""
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The finding as plain JSON-able data."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "context": self.context,
+        }
+
+
+__all__ = ["Finding", "Severity"]

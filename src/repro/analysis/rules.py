@@ -1,0 +1,201 @@
+"""The rule registry and the AST plumbing every rule shares.
+
+A rule is a small class with an identifier, a severity, and a ``check``
+method producing :class:`~repro.analysis.findings.Finding` objects.  Two
+granularities exist:
+
+* :class:`ModuleRule` — sees one parsed module at a time (RNG calls,
+  wall-clock calls, unordered iteration).
+* :class:`ProjectRule` — sees the whole parsed tree at once (schema drift,
+  protocol conformance, the declared-stream registry), for contracts that
+  span files.
+
+Rules register themselves with :func:`register_rule`; the checker runs
+every registered rule unless told otherwise.  The registry is the single
+source of the rule table in ``docs/determinism.md`` — ``repro check
+--list-rules`` renders it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Type, Union
+
+from repro.analysis.findings import Finding, Severity
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source module, with the lookups rules need precomputed."""
+
+    path: Path
+    rel: str  # POSIX path relative to the checked root, e.g. "repro/sim/engine.py"
+    tree: ast.Module
+    source: str
+    _imports: Optional[Dict[str, str]] = field(default=None, repr=False)
+    _parents: Optional[Dict[int, ast.AST]] = field(default=None, repr=False)
+
+    @property
+    def package(self) -> str:
+        """First package segment under ``repro`` (``"sim"``, ``"runner"``, ...)."""
+        parts = Path(self.rel).parts
+        return parts[1] if len(parts) > 2 else ""
+
+    @property
+    def imports(self) -> Dict[str, str]:
+        """Local name -> fully qualified dotted name, from the import statements.
+
+        ``import numpy as np`` maps ``np`` to ``numpy``; ``from datetime
+        import datetime`` maps ``datetime`` to ``datetime.datetime``.  Rules
+        resolve call targets through this table so aliasing cannot hide a
+        banned call.
+        """
+        if self._imports is None:
+            table: Dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        local = alias.asname or alias.name.split(".")[0]
+                        table[local] = alias.name if alias.asname else local
+                        if alias.asname:
+                            table[alias.asname] = alias.name
+                elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        table[local] = f"{node.module}.{alias.name}"
+            self._imports = table
+        return self._imports
+
+    @property
+    def parents(self) -> Dict[int, ast.AST]:
+        """``id(node)`` -> parent node, for rules that look outward."""
+        if self._parents is None:
+            table: Dict[int, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    table[id(child)] = node
+            self._parents = table
+        return self._parents
+
+    def parent_chain(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Ancestors of ``node``, innermost first."""
+        current = self.parents.get(id(node))
+        while current is not None:
+            yield current
+            current = self.parents.get(id(current))
+
+    def qualified_call(self, node: ast.Call) -> str:
+        """Dotted name of a call target, resolved through the import table.
+
+        ``np.random.default_rng(...)`` -> ``"numpy.random.default_rng"``;
+        unresolvable targets (method calls on computed objects) return the
+        unresolved attribute tail like ``".get"`` so rules can still match
+        on method names.
+        """
+        return resolve_name(node.func, self.imports)
+
+
+def resolve_name(node: ast.AST, imports: Dict[str, str]) -> str:
+    """Resolve a Name/Attribute chain to a dotted name, through imports."""
+    parts: List[str] = []
+    current: ast.AST = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        base = imports.get(current.id, current.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+    # Computed receiver (call result, subscript, self.x, ...): keep the
+    # attribute tail with a leading dot so rules can match method names.
+    return "." + ".".join(reversed(parts)) if parts else ""
+
+
+class Rule:
+    """Base class: identifier, severity, and the one-line contract."""
+
+    #: Unique identifier, e.g. ``"RNG001"``.  Families group by prefix.
+    rule_id: str = ""
+    #: One-line statement of the enforced contract (docs and --list-rules).
+    title: str = ""
+    severity: Severity = Severity.ERROR
+
+    def finding(
+        self, rel: str, line: int, message: str, context: str = ""
+    ) -> Finding:
+        """Convenience constructor stamped with this rule's id/severity."""
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            path=rel,
+            line=line,
+            message=message,
+            context=context,
+        )
+
+
+class ModuleRule(Rule):
+    """A rule evaluated one module at a time."""
+
+    def check_module(self, module: ModuleContext) -> List[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole parsed tree (cross-file contracts)."""
+
+    def check_project(
+        self, modules: Dict[str, ModuleContext], root: Path
+    ) -> List[Finding]:
+        raise NotImplementedError
+
+
+AnyRule = Union[ModuleRule, ProjectRule]
+
+_RULES: Dict[str, Type[AnyRule]] = {}
+
+
+def register_rule(cls: Type[AnyRule]) -> Type[AnyRule]:
+    """Class decorator adding a rule to the registry (unique ``rule_id``)."""
+    if not cls.rule_id or not cls.title:
+        raise ConfigurationError(
+            f"rule {cls.__name__} must set a rule_id and a title"
+        )
+    if cls.rule_id in _RULES:
+        raise ConfigurationError(
+            f"rule id {cls.rule_id!r} is already registered "
+            f"(by {_RULES[cls.rule_id].__name__})"
+        )
+    _RULES[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[AnyRule]:
+    """Fresh instances of every registered rule, sorted by identifier."""
+    # Import the rule modules here (not at package import) so the registry
+    # is populated exactly once however the package is entered.
+    from repro.analysis import clock_rules, protocol_rules, rng_rules, schema_rules  # noqa: F401
+
+    return [_RULES[rule_id]() for rule_id in sorted(_RULES)]
+
+
+def rule_ids() -> List[str]:
+    """The registered identifiers, sorted."""
+    all_rules()  # ensure the rule modules are imported
+    return sorted(_RULES)
+
+
+__all__ = [
+    "AnyRule",
+    "ModuleContext",
+    "ModuleRule",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "register_rule",
+    "resolve_name",
+    "rule_ids",
+]

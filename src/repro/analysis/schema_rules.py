@@ -1,0 +1,260 @@
+"""Fingerprint schema drift: cache-key semantics change only deliberately.
+
+``SweepCell.fingerprint()`` and ``CaptureSpec.fingerprint()`` are the cache
+keys of every record in every :class:`~repro.runner.store.ResultsStore` —
+including the committed CI fixture and every warm store on every machine.
+Adding, removing or renaming a field silently either *colds* every cache
+(harmless but expensive) or, far worse, keeps serving stale records for
+cells whose behaviour changed.
+
+SCH001 freezes the observable schema — the dataclass field lists, the
+serialized ``config_dict`` key sets, the gateway-scenario field subset and
+``SCHEMA_VERSION`` — against a committed baseline
+(``src/repro/analysis/fingerprint_schema.json``).  Any drift is an error
+whose fix is an *explicit baseline bump in the same PR*, which is what turns
+an accidental cache-semantics change into a reviewed decision (procedure:
+``docs/determinism.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, ProjectRule, register_rule
+
+#: The committed baseline shipped next to this module.
+PACKAGED_BASELINE = Path(__file__).resolve().parent / "fingerprint_schema.json"
+
+#: Where the schema facts live in the checked tree.
+CELLS_MODULE = "repro/runner/cells.py"
+CAPTURE_MODULE = "repro/runner/capture.py"
+
+
+def _class_def(module: ModuleContext, name: str) -> Optional[ast.ClassDef]:
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _dataclass_fields(class_def: ast.ClassDef) -> List[str]:
+    """Annotated field names of a dataclass body, in declaration order."""
+    fields: List[str] = []
+    for node in class_def.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            fields.append(node.target.id)
+    return fields
+
+
+def _config_dict_keys(class_def: ast.ClassDef) -> Tuple[List[str], List[str]]:
+    """(required, optional) serialized keys of a ``config_dict`` method.
+
+    Keys of dict literals are required (always serialized); keys assigned
+    via ``config["key"] = ...`` are optional (serialized only when set).
+    """
+    required: List[str] = []
+    optional: List[str] = []
+    method = next(
+        (
+            node
+            for node in class_def.body
+            if isinstance(node, ast.FunctionDef) and node.name == "config_dict"
+        ),
+        None,
+    )
+    if method is None:
+        return required, optional
+    for node in ast.walk(method):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    required.append(key.value)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    optional.append(target.slice.value)
+    return required, optional
+
+
+def _module_constant(module: ModuleContext, name: str) -> Any:
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return _literal(node.value)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == name
+            and node.value is not None
+        ):
+            return _literal(node.value)
+    return None
+
+
+def _literal(node: ast.expr) -> Any:
+    try:
+        return ast.literal_eval(node)
+    except (ValueError, SyntaxError):
+        return None
+
+
+def extract_live_schema(
+    cells: ModuleContext, capture: ModuleContext
+) -> Dict[str, Any]:
+    """The observable fingerprint schema of a parsed tree, as plain data."""
+    schema: Dict[str, Any] = {"schema_version": _module_constant(cells, "SCHEMA_VERSION")}
+    for name, module in (("SweepCell", cells), ("CaptureSpec", capture)):
+        class_def = _class_def(module, name)
+        if class_def is None:
+            schema[name] = None
+            continue
+        required, optional = _config_dict_keys(class_def)
+        schema[name] = {
+            "fields": _dataclass_fields(class_def),
+            "required_config_keys": required,
+            "optional_config_keys": optional,
+        }
+    gateway_fields = _module_constant(capture, "GATEWAY_SCENARIO_FIELDS")
+    schema["gateway_scenario_fields"] = (
+        list(gateway_fields) if gateway_fields is not None else None
+    )
+    return schema
+
+
+def load_schema_baseline(root: Path) -> Tuple[Optional[Dict[str, Any]], Path]:
+    """The committed schema baseline: the checked tree's copy, else the packaged one."""
+    candidate = root / "repro" / "analysis" / "fingerprint_schema.json"
+    path = candidate if candidate.is_file() else PACKAGED_BASELINE
+    if not path.is_file():
+        return None, path
+    return json.loads(path.read_text(encoding="utf-8")), path
+
+
+def _diff_lists(expected: Sequence[str], actual: Sequence[str]) -> str:
+    removed = [name for name in expected if name not in actual]
+    added = [name for name in actual if name not in expected]
+    parts = []
+    if added:
+        parts.append(f"added {added}")
+    if removed:
+        parts.append(f"removed {removed}")
+    if not parts:  # same members, different order
+        parts.append(f"reordered to {list(actual)}")
+    return ", ".join(parts)
+
+
+@register_rule
+class FingerprintSchemaRule(ProjectRule):
+    """SCH001: the live fingerprint schema matches the committed baseline."""
+
+    rule_id = "SCH001"
+    title = (
+        "SweepCell/CaptureSpec fields and config_dict key sets match the "
+        "committed fingerprint_schema.json (cache-key changes need an "
+        "explicit baseline bump)"
+    )
+
+    def check_project(
+        self, modules: Dict[str, ModuleContext], root: Path
+    ) -> List[Finding]:
+        cells = modules.get(CELLS_MODULE)
+        capture = modules.get(CAPTURE_MODULE)
+        if cells is None or capture is None:
+            return []  # not a repro tree shaped like this package
+        baseline, baseline_path = load_schema_baseline(root)
+        if baseline is None:
+            return [
+                self.finding(
+                    CELLS_MODULE,
+                    0,
+                    f"fingerprint schema baseline {baseline_path} is missing; "
+                    "commit it (repro check --write-schema-baseline regenerates "
+                    "it) so cache-key drift is detectable",
+                    context="fingerprint_schema.json",
+                )
+            ]
+        live = extract_live_schema(cells, capture)
+        findings: List[Finding] = []
+        bump = (
+            "if this change is deliberate, bump "
+            "src/repro/analysis/fingerprint_schema.json in the same PR and "
+            "say why in docs/determinism.md terms (stores may need SCHEMA_VERSION "
+            "bumped too)"
+        )
+        if live["schema_version"] != baseline.get("schema_version"):
+            findings.append(
+                self.finding(
+                    CELLS_MODULE,
+                    0,
+                    f"SCHEMA_VERSION is {live['schema_version']!r} but the "
+                    f"committed baseline says {baseline.get('schema_version')!r}; "
+                    + bump,
+                    context="SCHEMA_VERSION",
+                )
+            )
+        for name, rel in (("SweepCell", CELLS_MODULE), ("CaptureSpec", CAPTURE_MODULE)):
+            expected = baseline.get(name) or {}
+            actual = live.get(name)
+            if actual is None:
+                findings.append(
+                    self.finding(
+                        rel,
+                        0,
+                        f"class {name} not found; the fingerprint schema "
+                        "contract cannot be checked",
+                        context=name,
+                    )
+                )
+                continue
+            for aspect in ("fields", "required_config_keys", "optional_config_keys"):
+                if list(expected.get(aspect, [])) != list(actual[aspect]):
+                    findings.append(
+                        self.finding(
+                            rel,
+                            0,
+                            f"{name}.{aspect} drifted from the committed "
+                            f"fingerprint schema baseline: "
+                            f"{_diff_lists(expected.get(aspect, []), actual[aspect])} — "
+                            "this changes cache-key semantics for every "
+                            f"existing results store; {bump}",
+                            context=f"{name}.{aspect}",
+                        )
+                    )
+        if list(baseline.get("gateway_scenario_fields", [])) != list(
+            live["gateway_scenario_fields"] or []
+        ):
+            findings.append(
+                self.finding(
+                    CAPTURE_MODULE,
+                    0,
+                    "GATEWAY_SCENARIO_FIELDS drifted from the committed "
+                    "baseline: "
+                    + _diff_lists(
+                        baseline.get("gateway_scenario_fields", []),
+                        live["gateway_scenario_fields"] or [],
+                    )
+                    + " — gateway-capture sharing semantics change with it; "
+                    + bump,
+                    context="GATEWAY_SCENARIO_FIELDS",
+                )
+            )
+        return findings
+
+
+__all__ = [
+    "CAPTURE_MODULE",
+    "CELLS_MODULE",
+    "PACKAGED_BASELINE",
+    "FingerprintSchemaRule",
+    "extract_live_schema",
+    "load_schema_baseline",
+]

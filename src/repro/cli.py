@@ -304,6 +304,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare only these metrics (repeatable; default: every shared metric)",
     )
 
+    check = subcommands.add_parser(
+        "check",
+        help="run the static determinism analysis (RNG discipline, wall-clock, "
+        "ordering, schema drift, protocol conformance; docs/determinism.md)",
+    )
+    check.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory containing the repro/ package to check "
+        "(default: this installation's own source tree)",
+    )
+    check.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="justified-suppressions file (default: analysis-baseline.toml "
+        "next to the checked root)",
+    )
+    check.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report raw findings, ignoring any baseline (CI uses this on "
+        "doctored trees to prove the rules still fire)",
+    )
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="human-readable text or machine-readable JSON (default: text)",
+    )
+    check.add_argument(
+        "--rule",
+        dest="rules",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="restrict the run to these rule ids (repeatable, e.g. --rule RNG001)",
+    )
+    check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and their contracts, then exit",
+    )
+
     cache = subcommands.add_parser(
         "cache",
         help="maintain a persistent results store",
@@ -423,6 +470,33 @@ def _run_bench_command(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _run_check_command(args: argparse.Namespace) -> int:
+    """``repro check``; returns the exit code (0 clean, 1 findings).
+
+    Handled outside the generic report plumbing because findings must map
+    to exit code 1 for CI (2 stays reserved for usage/configuration
+    errors, matching the rest of the CLI).
+    """
+    from repro.analysis import all_rules
+    from repro.analysis.checker import run_check
+
+    if args.list_rules:
+        rules = all_rules()
+        width = max(len(rule.rule_id) for rule in rules)
+        lines = ["registered determinism rules (docs/determinism.md):", ""]
+        lines += [f"  {rule.rule_id.ljust(width)}  {rule.title}" for rule in rules]
+        print("\n".join(lines))
+        return 0
+    report = run_check(
+        root=args.root,
+        baseline_path=args.baseline,
+        use_baseline=not args.no_baseline,
+        rule_filter=args.rules or None,
+    )
+    print(report.to_json() if args.format == "json" else report.to_text())
+    return report.exit_code
+
+
 def _run_cache_command(args: argparse.Namespace) -> str:
     store = ResultsStore(args.cache_dir)
     if args.action == "compact":
@@ -459,6 +533,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report = _render_list()
         elif args.command == "bench":
             return _run_bench_command(args)
+        elif args.command == "check":
+            return _run_check_command(args)
         elif args.command == "cache":
             report = _run_cache_command(args)
         else:

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.variance_ratio import variance_ratio
 from repro.exceptions import AnalysisError
 from repro.network.delay_models import path_piat_variance
+from repro.sim.random import derived_rng
 from repro.padding.disturbance import InterruptDisturbance
 from repro.padding.policies import PaddingPolicy
 from repro.units import PAPER_HIGH_RATE_PPS, PAPER_LOW_RATE_PPS, PAPER_TIMER_INTERVAL_S
@@ -168,7 +169,7 @@ class GaussianPIATModel:
         if n_intervals < 1:
             raise AnalysisError("n_intervals must be >= 1")
         sigma = self._sigma_for(rate_label)
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else derived_rng(f"model-{rate_label}")
         draws = generator.normal(self.tau, sigma, size=n_intervals)
         return np.maximum(draws, 1e-9)
 

@@ -24,6 +24,7 @@ import numpy as np
 from repro.exceptions import PaddingError
 from repro.sim.engine import Simulator
 from repro.sim.monitor import CounterMonitor
+from repro.sim.random import derived_rng
 from repro.traffic.packet import Packet, PacketKind
 from repro.padding.disturbance import InterruptDisturbance
 from repro.padding.timer import IntervalGenerator
@@ -90,7 +91,7 @@ class SenderGateway:
         self.simulator = simulator
         self.interval_generator = interval_generator
         self.output = output
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else derived_rng(f"gateway-fallback-{name}")
         self.jitter_rng = jitter_rng
         self.blocking_rng = blocking_rng
         self.disturbance = disturbance

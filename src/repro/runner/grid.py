@@ -40,6 +40,7 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.base import CollectionMode, ScenarioConfig
 from repro.padding.policies import PaddingPolicy
 from repro.runner.capture import CaptureSpec
+from repro.sim.random import seeded_rng
 from repro.runner.cells import DEFAULT_FEATURES, CellResult, SweepCell
 from repro.stats.bootstrap import bootstrap_ci
 
@@ -351,7 +352,7 @@ def experiment_view(
 def _bootstrap_rng(point_key: str, confidence: float) -> np.random.Generator:
     """A resampling generator derived from the grid point, not global state."""
     digest = hashlib.sha256(f"{point_key}|{confidence}".encode("utf-8")).hexdigest()
-    return np.random.default_rng(int(digest[:16], 16))
+    return seeded_rng(int(digest[:16], 16))
 
 
 def _mean_and_ci(

@@ -22,9 +22,67 @@ instead of once per draw.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+#: The declared stream-name registry: every name passed to
+#: :meth:`RandomStreams.get` anywhere in this package must match one of these
+#: templates (``*`` stands for a formatted value such as a class label or a
+#: seed-offset tag).  ``repro check`` (rule RNG004) verifies call sites
+#: statically, so a typo in a stream name — which would silently derive a
+#: *different* independent stream and change every number downstream — is a
+#: lint error instead of a wrong figure.  Adding a component means adding its
+#: template here in the same change that introduces the ``get`` call.
+DECLARED_STREAMS: Tuple[str, ...] = (
+    "analytic-*",  # analytic-mode interval draws: analytic-<offset>-<label>
+    "cross-*",  # per-hop cross-traffic sources: cross-<label>-hop<n>
+    "gateway-*",  # gateway padding timer: gateway-<label>
+    "gateway-blocking-*",  # disturbance blocking-duration draws
+    "gateway-jitter-*",  # disturbance jitter draws
+    "net-noise-*",  # hybrid analytic network noise: net-noise-<tag>-<label>
+    "payload",  # payload source (no class split)
+    "payload-*",  # payload source: payload-<label>
+)
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """The sanctioned constructor for an explicitly seeded generator.
+
+    Thin wrapper over ``np.random.default_rng(seed)`` — bit-identical to
+    calling it directly — that exists so determinism tooling can tell an
+    *explicitly seeded* generator from an unseeded one: ``repro check``
+    forbids ``default_rng`` calls outside this module (rule RNG001), and code
+    that legitimately derives a generator from data (e.g. a grid point's
+    digest) routes through here.
+    """
+    return np.random.default_rng(seed)
+
+
+def derived_rng(component: str, seed: int = 0) -> np.random.Generator:
+    """A deterministic per-component generator for unthreaded call sites.
+
+    Components that accept an optional ``rng`` parameter (taps, gateways,
+    payload sources, the bootstrap) historically fell back to an *unseeded*
+    ``np.random.default_rng()`` — which made any run that forgot to thread a
+    generator silently irreproducible.  This is the replacement fallback: the
+    stream is derived from ``(seed, component)`` exactly like
+    :meth:`RandomStreams.get` derives named streams, so
+
+    * the same component falls back to the same stream in every run, and
+    * different components fall back to *independent* streams even at the
+      same ``seed``.
+
+    Experiment paths still thread named streams explicitly; this fallback
+    exists for interactive use and direct component construction.
+    """
+    if not isinstance(component, str) or not component:
+        raise ValueError(f"component must be a non-empty string, got {component!r}")
+    digest = np.frombuffer(component.encode("utf-8"), dtype=np.uint8)
+    child = np.random.SeedSequence(
+        entropy=seed, spawn_key=tuple(int(b) for b in digest)
+    )
+    return np.random.default_rng(child)
 
 
 class RandomStreams:
@@ -78,7 +136,7 @@ class RandomStreams:
             self._generators[name] = np.random.default_rng(child)
         return self._generators[name]
 
-    def spawn(self, name: str, count: int) -> Iterable[np.random.Generator]:
+    def spawn(self, name: str, count: int) -> List[np.random.Generator]:
         """Create ``count`` independent sub-streams under ``name``.
 
         Useful for per-hop cross-traffic sources: ``spawn("cross", 15)``
@@ -89,7 +147,7 @@ class RandomStreams:
             raise ValueError("count must be non-negative")
         return [self.get(f"{name}[{i}]") for i in range(count)]
 
-    def names(self) -> Iterable[str]:
+    def names(self) -> List[str]:
         """Names of the streams created so far (sorted for determinism)."""
         return sorted(self._generators)
 
@@ -157,4 +215,10 @@ class ChunkedDraws:
     __call__ = next
 
 
-__all__ = ["RandomStreams", "ChunkedDraws"]
+__all__ = [
+    "DECLARED_STREAMS",
+    "ChunkedDraws",
+    "RandomStreams",
+    "derived_rng",
+    "seeded_rng",
+]

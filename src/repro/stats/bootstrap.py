@@ -15,6 +15,13 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import AnalysisError
+from repro.sim.random import derived_rng
+
+#: Master seed of the fallback resampling stream used when no ``rng`` is
+#: passed.  Bootstrap resampling is part of reported confidence intervals, so
+#: the fallback must be deterministic: the same sample always yields the same
+#: interval, byte for byte, whether or not the caller threads a generator.
+DEFAULT_BOOTSTRAP_SEED = 0
 
 
 @dataclass(frozen=True)
@@ -43,6 +50,7 @@ def bootstrap_ci(
     confidence: float = 0.95,
     resamples: int = 2000,
     rng: Optional[np.random.Generator] = None,
+    seed: int = DEFAULT_BOOTSTRAP_SEED,
 ) -> BootstrapResult:
     """Percentile bootstrap confidence interval for ``statistic(sample)``.
 
@@ -57,7 +65,12 @@ def bootstrap_ci(
     resamples:
         Number of bootstrap resamples.
     rng:
-        Random generator (a fresh default generator when omitted).
+        Random generator.  When omitted, a deterministic generator derived
+        from ``seed`` is used, so repeated calls on the same sample return
+        the same interval.
+    seed:
+        Seed of the fallback resampling stream; ignored when ``rng`` is
+        given.
     """
     array = np.asarray(list(sample), dtype=float)
     if array.ndim != 1 or array.size < 2:
@@ -66,7 +79,7 @@ def bootstrap_ci(
         raise AnalysisError("confidence must lie in (0, 1)")
     if resamples < 10:
         raise AnalysisError("use at least 10 bootstrap resamples")
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = rng if rng is not None else derived_rng("bootstrap", seed)
     estimates = np.empty(resamples)
     n = array.size
     for i in range(resamples):
@@ -88,19 +101,34 @@ def bootstrap_detection_rate_ci(
     confidence: float = 0.95,
     resamples: int = 2000,
     rng: Optional[np.random.Generator] = None,
+    seed: int = DEFAULT_BOOTSTRAP_SEED,
 ) -> BootstrapResult:
     """Confidence interval for a detection rate from per-trial correctness flags.
 
     ``correct_flags`` holds one boolean per classification trial (``True`` =
     the adversary identified the payload rate correctly); the detection rate
-    is their mean.
+    is their mean.  Like :func:`bootstrap_ci`, the interval is reproducible
+    without threading a generator: the fallback stream is derived from
+    ``seed``.
     """
     flags = np.asarray(list(correct_flags), dtype=float)
     if flags.size < 2:
         raise AnalysisError("need at least 2 classification trials")
     if np.any((flags != 0.0) & (flags != 1.0)):
         raise AnalysisError("correct_flags must be boolean")
-    return bootstrap_ci(flags, statistic=np.mean, confidence=confidence, resamples=resamples, rng=rng)
+    return bootstrap_ci(
+        flags,
+        statistic=np.mean,
+        confidence=confidence,
+        resamples=resamples,
+        rng=rng,
+        seed=seed,
+    )
 
 
-__all__ = ["BootstrapResult", "bootstrap_ci", "bootstrap_detection_rate_ci"]
+__all__ = [
+    "DEFAULT_BOOTSTRAP_SEED",
+    "BootstrapResult",
+    "bootstrap_ci",
+    "bootstrap_detection_rate_ci",
+]

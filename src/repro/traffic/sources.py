@@ -38,7 +38,7 @@ import numpy as np
 from repro.exceptions import TrafficError
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
-from repro.sim.random import ChunkedDraws
+from repro.sim.random import ChunkedDraws, derived_rng
 from repro.traffic.packet import Packet, PacketKind
 from repro.traffic.schedule import ConstantRateSchedule, RateSchedule
 from repro.units import PAPER_PACKET_SIZE_BYTES
@@ -92,7 +92,7 @@ class TrafficSource:
         self.simulator = simulator
         self.sink = sink
         self.schedule = _as_schedule(rate)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else derived_rng(f"source-{flow_id}")
         self.flow_id = flow_id
         self.kind = kind
         self.packet_size_bytes = int(packet_size_bytes)

@@ -18,6 +18,7 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from repro.exceptions import TrafficError
+from repro.sim.random import derived_rng
 
 
 @dataclass
@@ -101,7 +102,8 @@ def generate_piat_trace(
         Standard deviation of the PIAT in seconds
         (``sqrt(sigma_T^2 + sigma_gw^2 + sigma_net^2)``).
     rng:
-        Random generator; a fresh default generator is used when omitted.
+        Random generator; a deterministic derived stream is used when
+        omitted, so repeated calls return the same trace.
     start_time:
         Timestamp of the first packet.
     """
@@ -111,7 +113,7 @@ def generate_piat_trace(
         raise TrafficError("mean interval must be positive")
     if jitter_std < 0.0:
         raise TrafficError("jitter std must be >= 0")
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = rng if rng is not None else derived_rng("piat-trace")
     gaps = generator.normal(mean_interval, jitter_std, size=n_packets - 1)
     # Physical inter-arrival times cannot be negative; clip to a tiny floor.
     gaps = np.maximum(gaps, 1e-9)

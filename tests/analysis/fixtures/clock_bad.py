@@ -1,0 +1,13 @@
+"""Fixture: wall-clock reads that must each raise CLK001."""
+
+import time
+from datetime import date, datetime
+
+
+def stamp() -> tuple:
+    now = time.time()
+    nanos = time.time_ns()
+    wall = datetime.now()
+    old = datetime.utcnow()
+    day = date.today()
+    return now, nanos, wall, old, day

@@ -1,0 +1,21 @@
+"""Fixture: order leaks that must each raise ORD001/ORD002."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def leaky(labels) -> list:
+    rows = []
+    for label in {item.strip() for item in labels}:  # ORD001: for over set
+        rows.append(label)
+    escaped = list({1, 2, 3})  # ORD001: list() of a set
+    squares = [value * value for value in {4, 5}]  # ORD001: comprehension over set
+    return rows + escaped + squares
+
+
+def listing(root: Path) -> list:
+    names = os.listdir(root)  # ORD002: unsorted listdir
+    paths = [path.name for path in root.glob("*.json")]  # ORD002: unsorted glob
+    found = glob.glob("*.txt")  # ORD002: unsorted module-level glob
+    return names + paths + found

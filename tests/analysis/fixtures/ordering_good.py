@@ -1,0 +1,18 @@
+"""Fixture: set and filesystem order is always pinned; no ORD findings."""
+
+import os
+from pathlib import Path
+
+
+def ordered(labels) -> list:
+    unique = {label.strip() for label in labels}
+    ranked = sorted(unique)
+    count = len({1, 2, 3})
+    smallest = min({4, 5, 6})
+    return ranked + [count, smallest]
+
+
+def listing(root: Path) -> list:
+    names = sorted(os.listdir(root))
+    paths = sorted(root.glob("*.json"))
+    return names + [path.name for path in paths]

@@ -1,0 +1,37 @@
+"""Fixture: a definition and an experiment that satisfy both contracts."""
+
+from repro.api.registry import ExperimentDefinition, register_experiment
+
+
+class GoodConfig:
+    pass
+
+
+class GoodExperiment:
+    name = "good"
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else GoodConfig()
+
+    def describe(self) -> str:
+        return "a conforming experiment"
+
+    def cells(self, seeds=None):
+        return []
+
+    def run(self, runner=None, seeds=None, confidence=None):
+        return self.assemble(None, seeds=seeds, confidence=confidence)
+
+    def assemble(self, report, seeds=None, confidence=None):
+        return report
+
+
+@register_experiment("good")
+class GoodDefinition(ExperimentDefinition):
+    config_cls = GoodConfig
+
+    def preset_config(self, preset: str, seed: int) -> GoodConfig:
+        return GoodConfig()
+
+    def build(self, config: GoodConfig) -> GoodExperiment:
+        return GoodExperiment(config)

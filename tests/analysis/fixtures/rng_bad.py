@@ -1,0 +1,16 @@
+"""Fixture: every way RNG discipline historically eroded, one per line."""
+
+import random
+
+import numpy as np
+
+from repro.sim.random import RandomStreams
+
+
+def sample() -> float:
+    rng = np.random.default_rng()  # RNG001: unseeded
+    seeded = np.random.default_rng(42)  # RNG001: bypasses seeded_rng
+    legacy = np.random.normal(0.0, 1.0)  # RNG002: global state
+    stdlib = random.random()  # RNG003 (the import above already fires)
+    streams = RandomStreams()  # RNG001: draws OS entropy
+    return float(rng.uniform()) + seeded.uniform() + legacy + stdlib + streams.get("payload").uniform()

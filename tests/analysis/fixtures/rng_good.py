@@ -1,0 +1,20 @@
+"""Fixture: RNG discipline done right — every rule stays silent."""
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.random import RandomStreams, derived_rng, seeded_rng
+
+
+def sample(rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    generator = rng if rng is not None else derived_rng("payload")
+    return generator.exponential(1.0, size=8)
+
+
+def build_streams(seed: int) -> RandomStreams:
+    return RandomStreams(seed=seed)
+
+
+def build_named(seed: int) -> np.random.Generator:
+    return seeded_rng(seed)

@@ -1,0 +1,9 @@
+"""Fixture: stream-name mistakes that must each raise RNG004."""
+
+
+def draw(streams, label: str, name):
+    typo = streams.get("paylaod")  # RNG004: literal typo
+    family_typo = streams.get(f"gatway-jitter-{label}")  # RNG004: prefix typo
+    opaque = streams.get(name)  # RNG004: not statically checkable
+    dynamic = streams.get(f"{label}-tail")  # RNG004: dynamic prefix
+    return typo, family_typo, opaque, dynamic

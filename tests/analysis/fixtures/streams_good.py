@@ -1,0 +1,9 @@
+"""Fixture: stream names that all match DECLARED_STREAMS; RNG004 silent."""
+
+
+def draw(streams, label: str, flow: int):
+    payload = streams.get("payload")
+    jitter = streams.get(f"gateway-jitter-{label}")
+    noise = streams.get(f"net-noise-{flow}")
+    children = streams.spawn(f"gateway-{label}", 3)
+    return payload, jitter, noise, children

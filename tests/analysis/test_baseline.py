@@ -1,0 +1,94 @@
+"""Tests for the justified-suppression baseline file."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.baseline import BaselineEntry, apply_baseline, load_baseline
+from repro.analysis.findings import Finding, Severity
+from repro.exceptions import ConfigurationError
+
+
+def _finding(rule="RNG001", path="repro/a.py", context="numpy.random.default_rng()"):
+    return Finding(
+        rule=rule,
+        severity=Severity.ERROR,
+        path=path,
+        line=3,
+        message="m",
+        context=context,
+    )
+
+
+class TestLoadBaseline:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.toml") == []
+        assert load_baseline(None) == []
+
+    def test_parses_entries(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        path.write_text(
+            '[[ignore]]\nrule = "CLK001"\npath = "repro/runner/bench.py"\n'
+            'context = "datetime"\nreason = "artifact metadata only"\n'
+        )
+        entries = load_baseline(path)
+        assert entries == [
+            BaselineEntry(
+                rule="CLK001",
+                path="repro/runner/bench.py",
+                context="datetime",
+                reason="artifact metadata only",
+            )
+        ]
+
+    def test_reason_is_required(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        path.write_text('[[ignore]]\nrule = "CLK001"\npath = "repro/a.py"\n')
+        with pytest.raises(ConfigurationError, match="reason"):
+            load_baseline(path)
+
+    def test_unknown_keys_are_rejected(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        path.write_text(
+            '[[ignore]]\nrule = "CLK001"\npath = "repro/a.py"\n'
+            'reason = "r"\nline = 12\n'
+        )
+        with pytest.raises(ConfigurationError, match="line"):
+            load_baseline(path)
+
+    def test_invalid_toml_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        path.write_text("[[ignore\n")
+        with pytest.raises(ConfigurationError, match="TOML"):
+            load_baseline(path)
+
+
+class TestApplyBaseline:
+    def test_matching_entry_suppresses(self):
+        entry = BaselineEntry(
+            rule="RNG001", path="repro/a.py", context="default_rng", reason="r"
+        )
+        surviving, suppressed, unused = apply_baseline([_finding()], [entry])
+        assert surviving == []
+        assert len(suppressed[entry]) == 1
+        assert unused == []
+
+    def test_context_is_a_substring_match(self):
+        entry = BaselineEntry(rule="RNG001", path="repro/a.py", context="", reason="r")
+        surviving, _, unused = apply_baseline([_finding()], [entry])
+        assert surviving == [] and unused == []
+
+    def test_wrong_rule_or_path_does_not_match(self):
+        entry = BaselineEntry(
+            rule="RNG002", path="repro/a.py", context="", reason="r"
+        )
+        surviving, _, unused = apply_baseline([_finding()], [entry])
+        assert len(surviving) == 1
+        assert unused == [entry]
+
+    def test_unused_entries_are_reported(self):
+        entry = BaselineEntry(
+            rule="CLK001", path="repro/gone.py", context="", reason="stale"
+        )
+        _, _, unused = apply_baseline([], [entry])
+        assert unused == [entry]

@@ -1,0 +1,66 @@
+"""Tests for the wall-clock and ordering rules (CLK001, ORD001, ORD002)."""
+
+from __future__ import annotations
+
+from repro.analysis.clock_rules import (
+    UnorderedSetIterationRule,
+    UnsortedListingRule,
+    WallClockRule,
+)
+
+from analysis_helpers import load_fixture, make_module
+
+
+class TestWallClock:
+    def test_good_fixture_is_clean(self):
+        assert WallClockRule().check_module(load_fixture("clock_good")) == []
+
+    def test_bad_fixture_flags_every_read(self):
+        findings = WallClockRule().check_module(load_fixture("clock_bad"))
+        contexts = sorted(f.context for f in findings)
+        assert contexts == [
+            "datetime.date.today",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "time.time",
+            "time.time_ns",
+        ]
+
+    def test_aliased_import_is_still_caught(self):
+        module = make_module("import time as clock\nt = clock.time()\n")
+        findings = WallClockRule().check_module(module)
+        assert [f.context for f in findings] == ["time.time"]
+
+
+class TestUnorderedSetIteration:
+    def test_good_fixture_is_clean(self):
+        assert UnorderedSetIterationRule().check_module(load_fixture("ordering_good")) == []
+
+    def test_bad_fixture_flags_every_leak(self):
+        findings = UnorderedSetIterationRule().check_module(load_fixture("ordering_bad"))
+        assert len(findings) == 3
+
+    def test_sorted_wrapper_silences(self):
+        module = make_module("out = [x for x in sorted({3, 1, 2})]\n")
+        assert UnorderedSetIterationRule().check_module(module) == []
+
+    def test_set_built_from_set_is_fine(self):
+        module = make_module("dedup = {x for x in {1, 2, 3}}\n")
+        assert UnorderedSetIterationRule().check_module(module) == []
+
+
+class TestUnsortedListing:
+    def test_good_fixture_is_clean(self):
+        assert UnsortedListingRule().check_module(load_fixture("ordering_good")) == []
+
+    def test_bad_fixture_flags_every_listing(self):
+        findings = UnsortedListingRule().check_module(load_fixture("ordering_bad"))
+        contexts = sorted(f.context for f in findings)
+        assert contexts == ["glob", "glob", "listdir"]
+
+    def test_sorted_pathlib_glob_is_fine(self):
+        module = make_module(
+            "from pathlib import Path\n"
+            "paths = sorted(Path('.').glob('*.jsonl'))\n"
+        )
+        assert UnsortedListingRule().check_module(module) == []

@@ -1,0 +1,74 @@
+"""Tests for the fingerprint schema drift rule (SCH001)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.schema_rules import (
+    CAPTURE_MODULE,
+    CELLS_MODULE,
+    PACKAGED_BASELINE,
+    FingerprintSchemaRule,
+    extract_live_schema,
+)
+
+from analysis_helpers import SRC_ROOT, load_real_module, make_module, make_tree
+
+
+def _real_tree():
+    return make_tree(load_real_module(CELLS_MODULE), load_real_module(CAPTURE_MODULE))
+
+
+class TestSchemaBaseline:
+    def test_committed_baseline_matches_live_dataclasses(self):
+        """The contract test: fingerprint_schema.json mirrors the real code.
+
+        If this fails you changed SweepCell/CaptureSpec (or their
+        config_dict serialization) without bumping the committed schema
+        baseline — see docs/determinism.md for the bump procedure.
+        """
+        cells = load_real_module(CELLS_MODULE)
+        capture = load_real_module(CAPTURE_MODULE)
+        live = extract_live_schema(cells, capture)
+        committed = json.loads(PACKAGED_BASELINE.read_text(encoding="utf-8"))
+        assert live == committed
+
+    def test_clean_tree_has_no_findings(self):
+        findings = FingerprintSchemaRule().check_project(_real_tree(), root=SRC_ROOT)
+        assert findings == []
+
+    def test_added_field_is_drift(self):
+        source = (SRC_ROOT / CELLS_MODULE).read_text(encoding="utf-8")
+        doctored = source.replace("trials: int", "trials: int\n    sneaky: int = 0", 1)
+        tree = make_tree(
+            make_module(doctored, rel=CELLS_MODULE),
+            load_real_module(CAPTURE_MODULE),
+        )
+        findings = FingerprintSchemaRule().check_project(tree, root=SRC_ROOT)
+        assert any(
+            f.context == "SweepCell.fields" and "sneaky" in f.message for f in findings
+        )
+
+    def test_removed_config_key_is_drift(self):
+        source = (SRC_ROOT / CAPTURE_MODULE).read_text(encoding="utf-8")
+        doctored = source.replace('"kind": "gateway-capture",', "", 1)
+        tree = make_tree(
+            load_real_module(CELLS_MODULE),
+            make_module(doctored, rel=CAPTURE_MODULE),
+        )
+        findings = FingerprintSchemaRule().check_project(tree, root=SRC_ROOT)
+        assert any(f.context == "CaptureSpec.required_config_keys" for f in findings)
+
+    def test_schema_version_bump_is_drift(self):
+        source = (SRC_ROOT / CELLS_MODULE).read_text(encoding="utf-8")
+        doctored = source.replace("SCHEMA_VERSION = 1", "SCHEMA_VERSION = 2", 1)
+        tree = make_tree(
+            make_module(doctored, rel=CELLS_MODULE),
+            load_real_module(CAPTURE_MODULE),
+        )
+        findings = FingerprintSchemaRule().check_project(tree, root=SRC_ROOT)
+        assert any(f.context == "SCHEMA_VERSION" for f in findings)
+
+    def test_non_repro_tree_is_skipped(self):
+        tree = make_tree(make_module("x = 1\n", rel="repro/other.py"))
+        assert FingerprintSchemaRule().check_project(tree, root=SRC_ROOT) == []

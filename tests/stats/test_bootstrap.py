@@ -37,6 +37,28 @@ class TestBootstrapCI:
         b = bootstrap_ci(data, rng=np.random.default_rng(3))
         assert (a.lower, a.upper) == (b.lower, b.upper)
 
+    def test_reproducible_without_rng(self):
+        # Regression: the old implicit fallback was an *unseeded* generator,
+        # so two identical calls returned different intervals.
+        data = np.arange(50.0)
+        a = bootstrap_ci(data)
+        b = bootstrap_ci(data)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_seed_parameter_reproduces_and_varies_the_interval(self):
+        data = np.arange(50.0)
+        a = bootstrap_ci(data, seed=7)
+        b = bootstrap_ci(data, seed=7)
+        c = bootstrap_ci(data, seed=8)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+        assert (a.lower, a.upper) != (c.lower, c.upper)
+
+    def test_explicit_rng_wins_over_seed(self):
+        data = np.arange(50.0)
+        a = bootstrap_ci(data, rng=np.random.default_rng(3), seed=7)
+        b = bootstrap_ci(data, rng=np.random.default_rng(3), seed=8)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
     def test_validation(self, rng):
         with pytest.raises(AnalysisError):
             bootstrap_ci([1.0], rng=rng)
@@ -65,3 +87,9 @@ class TestDetectionRateCI:
     def test_too_few_trials_rejected(self, rng):
         with pytest.raises(AnalysisError):
             bootstrap_detection_rate_ci([True], rng=rng)
+
+    def test_reproducible_without_rng(self):
+        flags = [True] * 30 + [False] * 20
+        a = bootstrap_detection_rate_ci(flags)
+        b = bootstrap_detection_rate_ci(flags)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
