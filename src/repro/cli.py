@@ -17,6 +17,8 @@ python -m repro sweep --experiments fig6 ablation_vit --scenario my_wan.toml
 python -m repro sweep --preset fast --seeds 5 --ci    # mean ± 95% CI per point
 python -m repro cache stats --cache-dir .sweep-cache  # store health counters
 python -m repro cache compact --cache-dir .sweep-cache
+python -m repro cache index --cache-dir .sweep-cache  # build/refresh the sqlite query index
+python -m repro serve --cache-dir .sweep-cache        # JSON HTTP API over the indexed store
 python -m repro bench run --pr pr6 --output BENCH_pr6.json
 python -m repro bench compare BENCH_new.json BENCH_pr6.json --max-regression 0.2
 ```
@@ -357,16 +359,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument(
         "action",
-        choices=("compact", "stats"),
+        choices=("compact", "stats", "index"),
         help="compact: drop superseded duplicate records and fold a legacy "
-        "flat results.jsonl into the sharded layout; stats: report record/"
-        "shard counts, store size and schema versions",
+        "flat results.jsonl into the sharded layout (also refreshes an "
+        "existing sqlite index); stats: report record/shard counts, store "
+        "size and schema versions; index: build or incrementally refresh "
+        "the store's sqlite query index (index.sqlite, used by 'repro serve')",
     )
     cache.add_argument(
         "--cache-dir",
         type=Path,
         required=True,
         help="the results store to maintain",
+    )
+
+    serve = subcommands.add_parser(
+        "serve",
+        help="serve an indexed results store over a read-only JSON HTTP API "
+        "(GET /experiments, /points, /point/<key>, /report/<name>; "
+        "POST /enqueue; docs/serving.md)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        required=True,
+        help="the results store to serve; its sqlite index is built "
+        "automatically when missing",
+    )
+    serve.add_argument(
+        "--host",
+        default=None,
+        help="interface to bind (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port to listen on (default: 8321; 0 picks a free port)",
     )
     return parser
 
@@ -498,10 +527,44 @@ def _run_check_command(args: argparse.Namespace) -> int:
 
 
 def _run_cache_command(args: argparse.Namespace) -> str:
+    from repro.store import StoreIndex
+
     store = ResultsStore(args.cache_dir)
+    if args.action == "index":
+        return f"cache index: {StoreIndex(args.cache_dir).refresh()}"
     if args.action == "compact":
-        return f"cache compact: {store.compact()}"
+        report = f"cache compact: {store.compact()}"
+        index = StoreIndex(args.cache_dir)
+        if index.path.exists():
+            # Compaction rewrites shard files; an existing index would be
+            # stale (every rewritten file re-scans), so refresh it in the
+            # same maintenance pass.
+            report += f"\ncache index: {index.refresh()}"
+        return report
     return f"cache stats: {store.stats()}"
+
+
+def _run_serve_command(args: argparse.Namespace) -> int:
+    """``repro serve``; blocks until interrupted (returns 0 on Ctrl-C)."""
+    from repro.store import DEFAULT_HOST, DEFAULT_PORT, StoreIndex, create_server
+
+    index = StoreIndex(args.cache_dir)
+    if not index.path.exists():
+        print(f"cache index: {index.refresh()}")
+    server = create_server(
+        args.cache_dir,
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+    )
+    host, port = server.server_address[:2]
+    print(f"serving {args.cache_dir} on http://{host}:{port} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+    return 0
 
 
 def _load_scenario(path: Path, explicit_seed: Optional[int]) -> ScenarioExperiment:
@@ -537,6 +600,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_check_command(args)
         elif args.command == "cache":
             report = _run_cache_command(args)
+        elif args.command == "serve":
+            return _run_serve_command(args)
         else:
             preset = args.preset if args.preset is not None else DEFAULT_PRESET
             seed = args.seed if args.seed is not None else DEFAULT_SEED

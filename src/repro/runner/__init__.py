@@ -50,6 +50,8 @@ from repro.runner.grid import (
     GridSpec,
     aggregate_cells,
     experiment_view,
+    mean_and_ci,
+    point_bootstrap_rng,
     seed_range,
     split_seed_key,
 )
@@ -88,6 +90,8 @@ __all__ = [
     "aggregate_cells",
     "experiment_view",
     "hybrid_captures_from_gateway",
+    "mean_and_ci",
+    "point_bootstrap_rng",
     "run_capture",
     "run_cell",
     "seed_range",

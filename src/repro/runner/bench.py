@@ -226,6 +226,9 @@ def compare(
     so improvements come out negative and a single tolerance covers both
     families.  A missing baseline (first run on a branch) compares nothing
     and passes; metrics present on only one side are listed as skipped.
+    A zero-valued baseline metric with a non-zero current value raises a
+    :class:`~repro.exceptions.ConfigurationError` naming the metric — no
+    relative tolerance is meaningful against zero.
     ``metrics`` restricts the comparison — CI passes :data:`RATIO_METRICS`
     so absolute seconds from a different machine never gate a build.
     """
@@ -251,7 +254,19 @@ def compare(
         cur, base = current.metrics[name], baseline.metrics[name]
         direction = metric_direction(name)
         if base == 0.0:
-            regression = 0.0 if cur == 0.0 else (1.0 if direction == "lower" else -1.0)
+            # A zero baseline admits no relative change; silently mapping it
+            # to ±100% would let a broken baseline artifact pass (or fail)
+            # the CI gate for the wrong reason.  Identical zeros are a
+            # legitimate no-change; anything else must name the metric.
+            if cur == 0.0:
+                regression = 0.0
+            else:
+                raise ConfigurationError(
+                    f"benchmark metric {name!r} has a zero-valued baseline "
+                    f"({base!r} vs current {cur!r}); a relative regression "
+                    "against zero is undefined — re-record the baseline "
+                    "artifact for this metric"
+                )
         elif direction == "lower":
             regression = (cur - base) / base
         else:

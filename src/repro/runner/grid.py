@@ -349,17 +349,30 @@ def experiment_view(
     return report
 
 
-def _bootstrap_rng(point_key: str, confidence: float) -> np.random.Generator:
-    """A resampling generator derived from the grid point, not global state."""
+def point_bootstrap_rng(point_key: str, confidence: float) -> np.random.Generator:
+    """A resampling generator derived from the grid point, not global state.
+
+    Public because every consumer that bootstraps per-point intervals — the
+    aggregation layer here and :meth:`repro.store.query.StoreQuery.ci_band`
+    — must derive the generator identically, or the same store would serve
+    different confidence bands through different code paths.
+    """
     digest = hashlib.sha256(f"{point_key}|{confidence}".encode("utf-8")).hexdigest()
     return seeded_rng(int(digest[:16], 16))
 
 
-def _mean_and_ci(
+def mean_and_ci(
     values: Sequence[float],
     point_key: str,
     confidence: Optional[float],
 ) -> Tuple[float, Optional[Tuple[float, float]]]:
+    """Per-point mean plus the deterministic bootstrap interval (or ``None``).
+
+    The interval is ``None`` when no confidence level was requested or fewer
+    than two values contributed.  Resampling uses
+    :func:`point_bootstrap_rng`, so equal inputs yield byte-equal bands in
+    every consumer.
+    """
     array = np.asarray(list(values), dtype=float)
     mean = float(np.mean(array))
     if confidence is None or array.size < 2:
@@ -367,7 +380,7 @@ def _mean_and_ci(
     result = bootstrap_ci(
         array,
         confidence=confidence,
-        rng=_bootstrap_rng(point_key, confidence),
+        rng=point_bootstrap_rng(point_key, confidence),
     )
     return mean, (result.lower, result.upper)
 
@@ -427,12 +440,12 @@ def aggregate_cells(
             rate_cis[feature] = {}
             for n in member_results[0].empirical_detection_rate[feature]:
                 values = [r.empirical_detection_rate[feature][n] for r in member_results]
-                mean, ci = _mean_and_ci(values, f"{point_key}/{feature}/{n}", confidence)
+                mean, ci = mean_and_ci(values, f"{point_key}/{feature}/{n}", confidence)
                 rates[feature][n] = mean
                 if ci is not None:
                     rate_cis[feature][n] = ci
 
-        ratio_mean, ratio_ci = _mean_and_ci(
+        ratio_mean, ratio_ci = mean_and_ci(
             [r.measured_variance_ratio for r in member_results], f"{point_key}/r", confidence
         )
         means: Dict[str, float] = {}
@@ -472,6 +485,8 @@ __all__ = [
     "GridSpec",
     "aggregate_cells",
     "experiment_view",
+    "mean_and_ci",
+    "point_bootstrap_rng",
     "seed_range",
     "split_seed_key",
 ]

@@ -147,12 +147,14 @@ class ResultsStore:
 
     # ------------------------------------------------------------------ index
     @staticmethod
-    def _read_records(path: Path) -> List[Dict[str, Any]]:
+    def read_records(path: Path) -> List[Dict[str, Any]]:
         """Every valid record in ``path``, in file order.
 
-        Blank lines, truncated final lines (killed writers) and records with a
-        foreign schema version are skipped; complete records before them are
-        still usable.
+        Blank lines, truncated final lines (killed writers), records with a
+        foreign schema version and records missing a string ``fingerprint``
+        or dict ``result`` are skipped; complete records before them are
+        still usable.  This is the one parsing contract shared by lookups,
+        compaction and the sqlite index (:mod:`repro.store.index`).
         """
         records: List[Dict[str, Any]] = []
         if not path.exists():
@@ -178,7 +180,7 @@ class ResultsStore:
         if self._legacy_loaded:
             return
         self._legacy_loaded = True
-        for record in self._read_records(self.legacy_path):
+        for record in self.read_records(self.legacy_path):
             self._legacy_index[record["fingerprint"]] = record
 
     def get(self, fingerprint: str, kind: str = "cell") -> Optional[Dict[str, Any]]:
@@ -187,6 +189,15 @@ class ResultsStore:
         Shard files take precedence over the legacy flat file; within a file
         the last record wins.  ``kind`` filters out records of the other
         record family (legacy records carry no ``kind`` and count as cells).
+
+        The kind filter applies *after* precedence is resolved: when a shard
+        holds a winning record of the wrong ``kind``, the lookup returns
+        ``None`` without falling back to an older same-kind record — in the
+        shard or in the legacy flat file.  This is deliberate last-record-
+        wins semantics: the newest record for a fingerprint is the truth
+        about it, and a kind mismatch means the caller is asking for a
+        record family that fingerprint no longer is (pinned by tests in
+        ``tests/runner/test_store.py``).
         """
         record = self._index.get(fingerprint)
         if record is None:
@@ -195,7 +206,12 @@ class ResultsStore:
             except ConfigurationError:
                 shard = None
             if shard is not None and shard.exists():
-                records = [r for r in self._read_records(shard) if r["fingerprint"] == fingerprint]
+                # read_records() guarantees a string fingerprint, but a
+                # doctored or foreign-tool shard line should degrade to a
+                # skip, never to a KeyError on an unrelated lookup.
+                records = [
+                    r for r in self.read_records(shard) if r.get("fingerprint") == fingerprint
+                ]
                 if records:
                     record = records[-1]
                     self._index[fingerprint] = record
@@ -237,6 +253,15 @@ class ResultsStore:
             if path.is_file()
         )
 
+    def shard_files(self) -> List[Path]:
+        """Every shard file in the store, in sorted (deterministic) order.
+
+        Public for maintenance tooling — compaction, ``repro cache stats``
+        and the sqlite index (:mod:`repro.store.index`) all walk the same
+        listing.
+        """
+        return self._shard_files()
+
     @staticmethod
     def _count_data_lines(path: Path) -> int:
         return sum(1 for line in path.read_text(encoding="utf-8").splitlines() if line.strip())
@@ -255,7 +280,7 @@ class ResultsStore:
         superseded = 0
         kept = 0
         for path in self._shard_files():
-            records = self._read_records(path)
+            records = self.read_records(path)
             if len(records) != self._count_data_lines(path):
                 # Foreign-schema or truncated lines present: not ours to drop.
                 kept += len({record["fingerprint"] for record in records})
@@ -282,7 +307,7 @@ class ResultsStore:
 
         migrated = 0
         if self.legacy_path.exists():
-            legacy_records = self._read_records(self.legacy_path)
+            legacy_records = self.read_records(self.legacy_path)
             foreign_lines = self._count_data_lines(self.legacy_path) - len(legacy_records)
             last_by_fingerprint = {}
             for record in legacy_records:
@@ -319,7 +344,7 @@ class ResultsStore:
     def _raw_records(path: Path) -> List[Dict[str, Any]]:
         """Every parseable JSON record in ``path``, regardless of schema.
 
-        Unlike :meth:`_read_records` this keeps foreign-schema records, so
+        Unlike :meth:`read_records` this keeps foreign-schema records, so
         :meth:`stats` can report versions this code cannot serve.
         """
         records: List[Dict[str, Any]] = []
@@ -404,7 +429,7 @@ class ResultsStore:
             record = self._index.get(fingerprint)
             if record is None:
                 records = [
-                    r for r in self._read_records(path) if r["fingerprint"] == fingerprint
+                    r for r in self.read_records(path) if r.get("fingerprint") == fingerprint
                 ]
                 if records:
                     record = records[-1]

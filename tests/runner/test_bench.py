@@ -190,3 +190,32 @@ class TestRunBench:
         path = tmp_path / "BENCH_test.json"
         result.save(path)
         assert BenchResult.load(path) == result
+
+
+class TestZeroBaseline:
+    """A zero-valued baseline admits no relative change; it must fail loudly."""
+
+    def test_nonzero_current_raises_and_names_the_metric(self):
+        current = make_result({"run_seconds": 1.5})
+        baseline = make_result({"run_seconds": 0.0})
+        with pytest.raises(ConfigurationError, match="run_seconds"):
+            compare(current, baseline)
+
+    def test_higher_better_metrics_fail_the_same_way(self):
+        current = make_result({"kernel_speedup": 5.0})
+        baseline = make_result({"kernel_speedup": 0.0})
+        with pytest.raises(ConfigurationError, match="kernel_speedup"):
+            compare(current, baseline)
+
+    def test_identical_zeros_are_a_legitimate_no_change(self):
+        current = make_result({"run_seconds": 0.0})
+        baseline = make_result({"run_seconds": 0.0})
+        comparison = compare(current, baseline)
+        assert comparison.ok
+        assert comparison.rows[0].regression == 0.0
+
+    def test_the_error_suggests_rerecording_the_baseline(self):
+        current = make_result({"run_seconds": 1.5})
+        baseline = make_result({"run_seconds": 0.0})
+        with pytest.raises(ConfigurationError, match="re-record the baseline"):
+            compare(current, baseline)

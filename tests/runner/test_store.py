@@ -254,3 +254,56 @@ class TestStoreStats:
         stats = store.stats()
         assert set(stats.schema_versions) == {SCHEMA_VERSION, "2.experimental"}
         assert "2.experimental" in str(stats)
+
+
+class TestDoctoredShards:
+    """Hardening: hand-edited or foreign-tool shard lines must degrade to skips."""
+
+    def test_record_without_fingerprint_does_not_break_the_lookup(self, store):
+        store.put("abcd01", {"seed": 1}, RESULT)
+        doctored = json.dumps(
+            {"schema": SCHEMA_VERSION, "kind": "cell", "config": {}, "result": {"x": 1}}
+        )
+        with store.shard_path("abcd01").open("a", encoding="utf-8") as handle:
+            handle.write(doctored + "\n")
+        reopened = ResultsStore(store.root)
+        # The keyless line is skipped; the good record still wins — no KeyError.
+        assert reopened.get("abcd01")["result"] == RESULT
+        assert list(reopened.fingerprints()) == ["abcd01"]
+
+    def test_non_string_fingerprint_is_skipped(self, store):
+        store.put("abcd01", {}, RESULT)
+        doctored = json.dumps(
+            {"schema": SCHEMA_VERSION, "fingerprint": 12345, "config": {}, "result": {"x": 1}}
+        )
+        with store.shard_path("abcd01").open("a", encoding="utf-8") as handle:
+            handle.write(doctored + "\n")
+        assert ResultsStore(store.root).get("abcd01")["result"] == RESULT
+
+
+class TestKindFilterPrecedence:
+    """Pin the audited kind-filter semantics: precedence first, kind second.
+
+    The winning record (shards over legacy, last line in a file) is the
+    truth about a fingerprint; a kind mismatch on it is a miss, never a
+    fallback to an older same-kind record.
+    """
+
+    def test_wrong_kind_shard_winner_hides_an_older_shard_record(self, store):
+        store.put("abc", {}, RESULT, kind="cell")
+        store.put("abc", {}, RESULT, kind="capture")  # last record wins
+        reopened = ResultsStore(store.root)
+        assert reopened.get("abc", kind="cell") is None
+        assert reopened.get("abc", kind="capture") is not None
+
+    def test_wrong_kind_shard_winner_hides_a_legacy_cell_record(self, store):
+        write_legacy(store, [legacy_record("abc", RESULT)])  # legacy = cell
+        store.put("abc", {}, RESULT, kind="capture")
+        reopened = ResultsStore(store.root)
+        # The shard's capture record shadows the fingerprint wholesale: no
+        # fall-through to the legacy flat file for the requested kind.
+        assert reopened.get("abc", kind="cell") is None
+        assert reopened.get("abc", kind="capture") is not None
+        # Without the shard the legacy record would have answered.
+        store.shard_path("abc").unlink()
+        assert ResultsStore(store.root).get("abc", kind="cell") is not None

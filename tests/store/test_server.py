@@ -1,0 +1,212 @@
+"""Tests of the ``repro serve`` JSON HTTP API over the fixture store."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.api import get_experiment
+from repro.runner import ResultsStore, SweepRunner
+from repro.store import PENDING_FILENAME, StoreIndex, create_server
+
+FIXTURE_CACHE = Path(__file__).resolve().parent.parent / "fixtures" / "sweep_cache"
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """An indexed fixture-store copy served on an ephemeral port."""
+    root = tmp_path_factory.mktemp("served") / "cache"
+    shutil.copytree(FIXTURE_CACHE, root)
+    StoreIndex(root).refresh()
+    server = create_server(root, port=0, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield root, f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def get_json(base: str, path: str):
+    with urllib.request.urlopen(base + path) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def post_json(base: str, path: str, payload) -> tuple:
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def error_of(call):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        call()
+    body = json.loads(excinfo.value.read().decode("utf-8"))
+    return excinfo.value.code, body
+
+
+class TestEndpoints:
+    def test_root_lists_the_endpoints(self, served):
+        root, base = served
+        status, body = get_json(base, "/")
+        assert status == 200
+        assert "GET /points?experiment=NAME" in body["endpoints"]
+        assert body["store"] == str(root)
+
+    def test_experiments_lists_registry_and_index(self, served):
+        _, base = served
+        status, body = get_json(base, "/experiments")
+        assert status == 200
+        by_name = {entry["experiment"]: entry for entry in body["experiments"]}
+        assert {"fig4", "fig5", "fig6", "fig8"} <= set(by_name)
+        assert by_name["fig6"]["indexed"]["points"] == 2
+        assert by_name["fig6"]["description"]
+        # Registered but uncached experiments still appear, unindexed.
+        assert by_name["ablation_tap"]["indexed"] is None
+
+    def test_points_payload_matches_the_jsonl_records(self, served):
+        """Acceptance: served values byte-identical to the stored records."""
+        root, base = served
+        status, body = get_json(base, "/points?experiment=fig6")
+        assert status == 200
+        assert body["experiment"] == "fig6"
+        assert body["count"] == 2
+        store = ResultsStore(root)
+        for point in body["points"]:
+            record = store.get(point["fingerprint"])
+            assert record is not None
+            assert point["result"] == record["result"]
+            assert json.dumps(point["result"], sort_keys=True) == json.dumps(
+                record["result"], sort_keys=True
+            )
+
+    def test_point_endpoint_returns_the_records(self, served):
+        _, base = served
+        key = urllib.parse.quote("fig6/utilization=0.05", safe="")
+        status, body = get_json(base, f"/point/{key}")
+        assert status == 200
+        assert body["count"] == 1
+        assert body["records"][0]["seed"] == 2003
+
+    def test_report_matches_a_warm_sweep(self, served):
+        """The served report equals one assembled by the sweep runner."""
+        root, base = served
+        status, body = get_json(base, "/report/fig6?preset=smoke")
+        assert status == 200
+        experiment = get_experiment("fig6", "smoke", 2003)
+        runner = SweepRunner(store=ResultsStore(root))
+        report = runner.run(experiment.cells())
+        expected = experiment.assemble(report).to_text()
+        assert body["report"] == expected
+
+    def test_report_on_uncached_grid_is_409_with_missing_cells(self, served):
+        _, base = served
+        status, body = error_of(lambda: get_json(base, "/report/fig6?preset=fast"))
+        assert status == 409
+        assert len(body["missing"]) == 6
+        assert "enqueue" in body["error"]
+
+
+class TestErrorPaths:
+    def test_points_without_experiment_is_400(self, served):
+        _, base = served
+        status, body = error_of(lambda: get_json(base, "/points"))
+        assert status == 400
+        assert "experiment" in body["error"]
+
+    def test_unknown_experiment_is_404(self, served):
+        _, base = served
+        status, _ = error_of(lambda: get_json(base, "/points?experiment=nope"))
+        assert status == 404
+
+    def test_unknown_point_is_404(self, served):
+        _, base = served
+        status, _ = error_of(lambda: get_json(base, "/point/fig6%2Futilization%3D0.99"))
+        assert status == 404
+
+    def test_unknown_endpoint_is_404(self, served):
+        _, base = served
+        status, _ = error_of(lambda: get_json(base, "/nope"))
+        assert status == 404
+
+    def test_bad_seed_parameter_is_400(self, served):
+        _, base = served
+        status, _ = error_of(lambda: get_json(base, "/points?experiment=fig6&seed=x"))
+        assert status == 400
+
+    def test_single_seed_ci_band_is_400(self, served):
+        _, base = served
+        key = urllib.parse.quote("fig6/utilization=0.05", safe="")
+        status, body = error_of(
+            lambda: get_json(base, f"/point/{key}?confidence=0.95")
+        )
+        assert status == 400
+        assert "at least two" in body["error"]
+
+    def test_invalid_enqueue_body_is_400(self, served):
+        _, base = served
+        request = urllib.request.Request(
+            served[1] + "/enqueue", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_enqueue_unknown_experiment_is_404(self, served):
+        _, base = served
+        status, _ = error_of(lambda: post_json(base, "/enqueue", {"experiment": "nope"}))
+        assert status == 404
+
+
+class TestEnqueue:
+    def test_enqueue_writes_and_dedupes_pending_cells(self, served):
+        root, base = served
+        pending = root / PENDING_FILENAME
+        status, body = post_json(base, "/enqueue", {"experiment": "fig4", "preset": "fast"})
+        assert status == 200
+        assert body["requested"] == body["enqueued"] > 0
+        assert body["cached"] == 0
+        lines = [
+            json.loads(line) for line in pending.read_text().splitlines() if line.strip()
+        ]
+        enqueued = [line for line in lines if line["experiment"] == "fig4"]
+        assert len(enqueued) == body["enqueued"]
+        assert all(line["preset"] == "fast" and "config" in line for line in enqueued)
+
+        status, again = post_json(base, "/enqueue", {"experiment": "fig4", "preset": "fast"})
+        assert again["enqueued"] == 0
+        assert again["already_pending"] == body["enqueued"]
+
+    def test_fully_cached_experiment_enqueues_nothing(self, served):
+        root, base = served
+        status, body = post_json(base, "/enqueue", {"experiment": "fig6", "preset": "smoke"})
+        assert status == 200
+        assert body["cached"] == body["requested"] == 2
+        assert body["enqueued"] == 0
+
+
+class TestConcurrency:
+    def test_hammering_points_returns_identical_bodies(self, served):
+        _, base = served
+        baseline = get_json(base, "/points?experiment=fig6")[1]
+
+        def fetch(_):
+            return get_json(base, "/points?experiment=fig6")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(fetch, range(32)))
+        assert all(status == 200 for status, _ in outcomes)
+        assert all(body == baseline for _, body in outcomes)

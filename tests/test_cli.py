@@ -347,3 +347,69 @@ class TestBenchCommand:
         result = BenchResult.load(artifact)
         assert result.metrics["cold_capture_speedup"] >= 3.0
         assert result.notes["captures_identical"] is True
+
+
+class TestCacheIndexCommand:
+    def test_index_builds_and_reports_counts(self, tmp_path, capsys):
+        from repro.runner import ResultsStore
+        from repro.store import INDEX_FILENAME
+
+        store = ResultsStore(tmp_path)
+        store.put("aaaa11", {"seed": 1}, {"measured_variance_ratio": 1.0})
+        assert main(["cache", "index", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache index:" in out
+        assert "1 records written" in out
+        assert (tmp_path / INDEX_FILENAME).exists()
+
+    def test_second_index_run_writes_zero_rows(self, tmp_path, capsys):
+        from repro.runner import ResultsStore
+
+        store = ResultsStore(tmp_path)
+        store.put("aaaa11", {"seed": 1}, {"measured_variance_ratio": 1.0})
+        assert main(["cache", "index", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "index", "--cache-dir", str(tmp_path)]) == 0
+        assert "0 records written" in capsys.readouterr().out
+
+    def test_compact_refreshes_an_existing_index(self, tmp_path, capsys):
+        from repro.runner import ResultsStore
+
+        store = ResultsStore(tmp_path)
+        store.put("aaaa11", {"seed": 1}, {"measured_variance_ratio": 1.0})
+        store.put("aaaa11", {"seed": 1}, {"measured_variance_ratio": 2.0})
+        assert main(["cache", "index", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "compact", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache compact:" in out
+        assert "cache index:" in out  # refreshed in the same pass
+
+    def test_compact_without_an_index_does_not_create_one(self, tmp_path, capsys):
+        from repro.runner import ResultsStore
+        from repro.store import INDEX_FILENAME
+
+        ResultsStore(tmp_path).put("aaaa11", {}, {"measured_variance_ratio": 1.0})
+        assert main(["cache", "compact", "--cache-dir", str(tmp_path)]) == 0
+        assert "cache index:" not in capsys.readouterr().out
+        assert not (tmp_path / INDEX_FILENAME).exists()
+
+
+class TestServeCommand:
+    def test_parser_accepts_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--cache-dir", ".sweep-cache", "--host", "0.0.0.0", "--port", "0"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+
+    def test_serve_requires_a_cache_dir(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve"])
+        assert excinfo.value.code == 2
+
+    def test_serve_on_a_non_directory_store_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "not-a-dir"
+        path.write_text("")
+        assert main(["serve", "--cache-dir", str(path)]) == 2
+        assert "repro: error:" in capsys.readouterr().err
