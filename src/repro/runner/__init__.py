@@ -16,6 +16,22 @@ warm-cache sweeps.
 """
 
 from repro.exceptions import SweepError
+from repro.runner.backends import (
+    BACKEND_NAMES,
+    DrainReport,
+    ExecutionBackend,
+    ProcessBackend,
+    QueueBackend,
+    SerialBackend,
+    TaskFailure,
+    WorkQueue,
+    available_cpu_count,
+    create_backend,
+    default_worker_id,
+    drain_pending,
+    resolve_jobs,
+    run_worker,
+)
 from repro.runner.bench import (
     BENCH_SCHEMA_VERSION,
     DEFAULT_MAX_REGRESSION,
@@ -59,7 +75,21 @@ from repro.runner.runner import SweepReport, SweepRunner
 from repro.runner.store import CompactionStats, ResultsStore, StoreStats
 
 __all__ = [
+    "BACKEND_NAMES",
     "BENCH_SCHEMA_VERSION",
+    "DrainReport",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "QueueBackend",
+    "SerialBackend",
+    "TaskFailure",
+    "WorkQueue",
+    "available_cpu_count",
+    "create_backend",
+    "default_worker_id",
+    "drain_pending",
+    "resolve_jobs",
+    "run_worker",
     "BenchComparison",
     "BenchResult",
     "DEFAULT_FEATURES",

@@ -72,8 +72,16 @@ def metric_direction(name: str) -> str:
 
 
 def collect_machine_info() -> Dict[str, Any]:
-    """The environment fingerprint stored alongside every benchmark run."""
+    """The environment fingerprint stored alongside every benchmark run.
+
+    ``cpu_count`` is the machine's CPU count; ``cpu_count_available`` honours
+    the scheduler affinity mask actually granted to this process (what
+    ``--jobs auto`` sizes to) — on a pinned CI runner the two differ, which
+    is exactly the context a throughput number needs.
+    """
     import os
+
+    from repro.runner.backends.base import available_cpu_count
 
     return {
         "platform": platform.platform(),
@@ -83,6 +91,7 @@ def collect_machine_info() -> Dict[str, Any]:
         "python_implementation": platform.python_implementation(),
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
+        "cpu_count_available": available_cpu_count(),
     }
 
 
@@ -355,6 +364,63 @@ def _time_sweep(seed: int) -> Tuple[float, float, int]:
     return cold, warm, len(cells)
 
 
+def _dispatch_grid(seed: int, count: int = 8) -> List:
+    """A trivial analytic grid where dispatch cost dominates simulation cost."""
+    from repro.experiments.base import ScenarioConfig
+    from repro.runner.cells import SweepCell
+
+    return [
+        SweepCell(
+            key=f"bench/dispatch/{i}",
+            scenario=ScenarioConfig(),
+            sample_sizes=(50,),
+            trials=4,
+            mode="analytic",
+            seed=seed + i,
+        )
+        for i in range(count)
+    ]
+
+
+def _time_backends(seed: int, repeats: int) -> Tuple[float, float, int]:
+    """Serial vs process wall-clock on the dispatch grid.
+
+    The cells are near-free analytically, so the difference is almost purely
+    the process backend's pool startup + pickle cost — the overhead the
+    serial backend exists to avoid on warm and small sweeps.
+    """
+    from repro.runner.runner import SweepRunner
+
+    cells = _dispatch_grid(seed)
+    serial_seconds, _ = _best_of(
+        repeats, lambda: SweepRunner(backend="serial").run(cells)
+    )
+    process_seconds, _ = _best_of(
+        repeats, lambda: SweepRunner(jobs=2, backend="process").run(cells)
+    )
+    return serial_seconds, process_seconds, len(cells)
+
+
+def _time_queue(seed: int, workers: int = 2) -> Tuple[float, int]:
+    """Cold wall-clock of the dispatch grid through the queue backend.
+
+    Spawns ``workers`` local queue workers against a throwaway store —
+    enqueue, claim, execute, shard-append and parent merge all included, so
+    the resulting cells-per-second is the end-to-end queue protocol
+    throughput, not just the simulation speed.
+    """
+    from repro.runner.runner import SweepRunner
+    from repro.runner.store import ResultsStore
+
+    cells = _dispatch_grid(seed)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-queue-") as tmp:
+        store = ResultsStore(Path(tmp))
+        start = time.perf_counter()
+        SweepRunner(jobs=workers, store=store, backend="queue").run(cells)
+        elapsed = time.perf_counter() - start
+    return elapsed, len(cells)
+
+
 def run_bench(
     pr: str,
     *,
@@ -393,6 +459,8 @@ def run_bench(
 
     engine_seconds = _time_engine(engine_events, repeats)
     sweep_cold, sweep_warm, n_cells = _time_sweep(seed)
+    serial_seconds, process_seconds, dispatch_cells = _time_backends(seed, repeats)
+    queue_seconds, queue_cells = _time_queue(seed)
 
     low = float(np.var(vectorized_captures["low"], ddof=1))
     high = float(np.var(vectorized_captures["high"], ddof=1))
@@ -409,6 +477,13 @@ def run_bench(
         "sweep_warm_seconds": sweep_warm,
         "sweep_warm_speedup": sweep_cold / sweep_warm,
         "sweep_cells_per_sec": n_cells / sweep_cold,
+        "serial_dispatch_seconds": serial_seconds,
+        "process_dispatch_seconds": process_seconds,
+        # How much the pool costs over running inline; clamped because a
+        # loaded machine can (rarely) time the pool faster than the clamp
+        # floor and the artifact schema requires metrics >= 0.
+        "dispatch_overhead_seconds": max(0.0, process_seconds - serial_seconds),
+        "queue_cells_per_sec": queue_cells / queue_seconds,
     }
     notes = {
         "capture_intervals": capture_intervals,
@@ -417,6 +492,9 @@ def run_bench(
         "seed": seed,
         "sweep": "fig6 --preset quick",
         "sweep_cells": n_cells,
+        "dispatch_cells": dispatch_cells,
+        "queue_workers": 2,
+        "queue_seconds": queue_seconds,
         "captures_identical": identical,
         "analytic_crosscheck": {
             "measured_variance_ratio": measured_r,

@@ -1,102 +1,66 @@
-"""The parallel sweep runner.
+"""The sweep runner: cache partitioning, capture resolution, accounting.
 
 :class:`SweepRunner` executes a grid of :class:`~repro.runner.cells.SweepCell`
-objects, fanning cache misses out over a :mod:`multiprocessing` worker pool
-and streaming every computed result into an optional
-:class:`~repro.runner.store.ResultsStore` so that repeated sweeps skip the
-simulation entirely.  Two-level cells (a shared gateway capture feeding
-per-scenario children, :mod:`repro.runner.capture`) are resolved in a first
-pass: each distinct capture fingerprint is served from the store or simulated
-once, then injected into every child that references it.
+objects, delegating *how* cache misses run to a pluggable
+:class:`~repro.runner.backends.base.ExecutionBackend` — ``serial`` (inline,
+zero pool overhead), ``process`` (a :mod:`multiprocessing` pool with
+per-attempt timeouts and recycling) or ``queue`` (a filesystem work queue
+drained by ``repro worker`` processes) — and streaming every computed result
+into an optional :class:`~repro.runner.store.ResultsStore` so that repeated
+sweeps skip the simulation entirely.  Two-level cells (a shared gateway
+capture feeding per-scenario children, :mod:`repro.runner.capture`) are
+resolved in a first pass: each distinct capture fingerprint is served from
+the store or simulated once, then injected into every child that references
+it.
 
 Guarantees:
 
 * **Determinism** — a cell is a pure function of its configuration (per-cell
   seeding via :class:`repro.sim.random.RandomStreams`), so the same grid and
-  seeds produce bit-identical results at any ``jobs`` count, warm or cold.
+  seeds produce bit-identical results on any backend at any ``jobs`` count,
+  warm or cold.
 * **Loud failure** — a cell that keeps failing (or times out) aborts the
   sweep with a :class:`~repro.exceptions.SweepError` naming the cell and
   carrying the worker traceback; the pool is torn down rather than left to
   hang.
 * **Bounded retries** — ``retries=N`` re-runs a failing or timed-out cell up
   to ``N`` extra times before aborting; ``timeout=T`` bounds each attempt's
-  wall clock.  A timed-out attempt cannot be cancelled cooperatively, so the
-  pool is recycled: still-running innocent cells are requeued (at no retry
-  cost) and restart in a fresh pool.
+  wall clock (process backend only — the serial loop cannot reclaim a stuck
+  cell in-process, and the queue backend handles stuck workers by lease
+  expiry).
 * **Single-writer cache** — only the parent process appends to the store, so
   workers never contend for the results file.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import sys
 import time
-import traceback
-from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.exceptions import ConfigurationError, SweepError
+from repro.runner.backends import create_backend
+from repro.runner.backends.base import (
+    FORKED_CAPTURES,
+    Task,
+    TaskFailure,
+    execute_task,
+    task_key,
+)
 from repro.runner.capture import CaptureResult, CaptureSpec, run_capture
 from repro.runner.cells import CellResult, SweepCell, run_cell
 from repro.runner.store import ResultsStore
 
-#: A schedulable unit of work: a cell (with its optional injected capture
-#: result) or a gateway capture.  Plain tuples keep the pool payload boring
-#: and picklable.
-_Task = Union[
-    Tuple[str, SweepCell, Optional[CaptureResult]],  # ("cell", cell, capture)
-    Tuple[str, CaptureSpec],  # ("capture", spec)
-]
-
-#: Resolved capture results shared with ``fork``-started workers by
-#: copy-on-write inheritance.  A capture payload is a few hundred KB of
-#: gateway intervals; embedding it in every child task would re-pickle it
-#: once per ``apply_async`` call (24× per network for fig8), so on fork
-#: platforms the task carries ``None`` and the worker looks the result up
-#: here.  Populated by :meth:`SweepRunner.run` before any pool is created
-#: and cleared when the run finishes.  ``spawn`` workers do not inherit
-#: parent globals, so there the capture stays embedded in the task.
-_FORKED_CAPTURES: Dict[str, CaptureResult] = {}
-
-
-@dataclass(frozen=True)
-class _CellFailure:
-    """Picklable failure marker returned by a worker instead of raising.
-
-    Raising inside the pool would surface the exception without the cell
-    identity (and an unpicklable exception would deadlock the pool), so
-    workers catch everything and let the parent raise a ``SweepError``.
-    """
-
-    key: str
-    error: str
-    worker_traceback: str
-    unit: str = "cell"
-
-
-def _task_key(task: _Task) -> str:
-    return task[1].key
-
-
-def _execute_task(task: _Task) -> Union[CellResult, CaptureResult, _CellFailure]:
-    """Pool entry point: run one task, converting any exception to a marker."""
-    kind = task[0]
-    try:
-        if kind == "capture":
-            return run_capture(task[1])
-        cell, capture = task[1], task[2]
-        if capture is None and cell.capture is not None:
-            capture = _FORKED_CAPTURES.get(cell.capture.fingerprint())
-        return run_cell(cell, capture=capture)
-    except Exception as exc:
-        return _CellFailure(
-            key=_task_key(task),
-            error=f"{type(exc).__name__}: {exc}",
-            worker_traceback=traceback.format_exc(),
-            unit="gateway capture" if kind == "capture" else "cell",
-        )
+# Historical (pre-backend-extraction) names, kept so existing imports and
+# monkeypatch targets stay valid.  ``_FORKED_CAPTURES`` must be the *same*
+# dict object as the backends module's — fork copy-on-write sharing and the
+# in-process lookup both go through that one instance.
+_Task = Task
+_CellFailure = TaskFailure
+_FORKED_CAPTURES = FORKED_CAPTURES
+_task_key = task_key
+_execute_task = execute_task
 
 
 @dataclass
@@ -135,17 +99,19 @@ class SweepReport:
 
 
 class SweepRunner:
-    """Runs sweep cells, in-process or across a worker pool, with caching.
+    """Runs sweep cells through an execution backend, with caching.
 
     Parameters
     ----------
     jobs:
-        Worker processes.  ``1`` (the default) runs every cell inline in the
-        parent process — no pool, easiest to debug, and the reference for the
-        bit-identical-at-any-jobs guarantee.
+        Worker processes (``process`` backend) or local queue workers
+        (``queue`` backend).  ``1`` (the default) runs every cell inline in
+        the parent process — no pool, easiest to debug, and the reference
+        for the bit-identical-at-any-jobs guarantee.
     store:
         Optional persistent cache.  Cells whose fingerprint is already stored
-        are returned from the cache without simulating.
+        are returned from the cache without simulating.  Required by the
+        ``queue`` backend (workers resolve shared captures through it).
     mp_context:
         :mod:`multiprocessing` start method.  Defaults to ``"fork"`` on Linux
         (cheap worker startup, and no re-import of ``__main__`` — ``spawn``
@@ -155,17 +121,22 @@ class SweepRunner:
     progress:
         Optional callable invoked with one line per completed cell.
     timeout:
-        Optional per-attempt wall-clock bound in seconds.  A cell (or
-        capture) still running past it counts as a failed attempt.  Because a
-        stuck worker cannot be reclaimed, enforcing a timeout always uses a
-        worker pool, even at ``jobs=1``.
+        Optional per-attempt wall-clock bound in seconds (``process`` backend
+        only).  A cell (or capture) still running past it counts as a failed
+        attempt.  Because a stuck worker cannot be reclaimed, enforcing a
+        timeout always uses a worker pool, even at ``jobs=1``.
     retries:
         Extra attempts granted to a failing or timed-out cell before the
         sweep aborts with a :class:`~repro.exceptions.SweepError`.
+    backend:
+        Execution strategy: ``"process"`` (default, the historical pool),
+        ``"serial"`` (inline fast path) or ``"queue"`` (filesystem work
+        queue; see ``docs/distributed.md``).
+    backend_options:
+        Extra keyword options forwarded to the backend factory — the queue
+        backend's ``lease_timeout``, ``poll_interval``, ``wait_timeout`` and
+        ``spawn_workers``.
     """
-
-    #: Seconds between polls of outstanding pool results.
-    _POLL_INTERVAL = 0.02
 
     def __init__(
         self,
@@ -175,6 +146,8 @@ class SweepRunner:
         progress: Optional[Callable[[str], None]] = None,
         timeout: Optional[float] = None,
         retries: int = 0,
+        backend: str = "process",
+        backend_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs={jobs!r} must be >= 1")
@@ -193,6 +166,19 @@ class SweepRunner:
         self._progress = progress
         self.timeout = timeout
         self.retries = retries
+        self.backend_name = backend
+        # Built eagerly so a misconfiguration (unknown backend, serial with a
+        # timeout, queue without a store) fails at construction, not mid-sweep.
+        self._backend = create_backend(
+            backend,
+            jobs=jobs,
+            store=store,
+            mp_context=mp_context,
+            timeout=timeout,
+            retries=retries,
+            progress=progress,
+            **(backend_options or {}),
+        )
         # Accumulated across run() calls so a multi-figure sweep can print one
         # overall summary (the CLI's ``sweep summary:`` line).
         self.cells_seen = 0
@@ -240,8 +226,10 @@ class SweepRunner:
         captures = self._resolve_captures(list(pending.values()))
         # Forked workers (and the inline path) read captures from the shared
         # module-level map; spawn workers need the payload inside the task.
+        # Queue workers ignore both — they rebuild the cell from its config
+        # and fetch the capture from the store.
         share_by_fork = self._mp_context == "fork"
-        tasks: List[_Task] = []
+        tasks: List[Task] = []
         for cell in pending.values():
             injected = None
             if cell.capture is not None:
@@ -253,8 +241,8 @@ class SweepRunner:
             tasks.append(("cell", cell, injected))
 
         try:
-            for outcome in self._fanout(tasks):
-                if isinstance(outcome, _CellFailure):
+            for outcome in self._backend.execute(tasks):
+                if isinstance(outcome, TaskFailure):
                     raise SweepError(
                         f"sweep cell {outcome.key!r} failed: {outcome.error}\n"
                         f"--- worker traceback ---\n{outcome.worker_traceback}"
@@ -317,7 +305,7 @@ class SweepRunner:
                 f", {self.captures_simulated} gateway captures simulated, "
                 f"{self.capture_hits} capture cache hits"
             )
-        return line + f", jobs={self.jobs}"
+        return line + f", jobs={self.jobs}, backend={self.backend_name}"
 
     # -------------------------------------------------------------- internals
     def _resolve_captures(
@@ -328,7 +316,10 @@ class SweepRunner:
         Returns fingerprint → (result, served_from_store).  Each distinct
         capture is computed at most once per sweep and persisted like a cell
         result (``kind="capture"``), so later sweeps — and other cells of
-        this one — reuse it without touching the event simulator.
+        this one — reuse it without touching the event simulator.  Captures
+        are resolved (and stored) *before* any cell task is dispatched, which
+        is what lets queue workers on other hosts find them in the shared
+        store.
         """
         specs: Dict[str, CaptureSpec] = {}
         for cell in cells:
@@ -356,8 +347,9 @@ class SweepRunner:
             else:
                 to_run.append(spec)
 
-        for outcome in self._fanout([("capture", spec) for spec in to_run]):
-            if isinstance(outcome, _CellFailure):
+        capture_tasks: List[Task] = [("capture", spec) for spec in to_run]
+        for outcome in self._backend.execute(capture_tasks):
+            if isinstance(outcome, TaskFailure):
                 raise SweepError(
                     f"{outcome.unit} {outcome.key!r} failed: {outcome.error}\n"
                     f"--- worker traceback ---\n{outcome.worker_traceback}"
@@ -375,120 +367,12 @@ class SweepRunner:
             )
         return resolved
 
-    def _fanout(
-        self, tasks: List[_Task]
-    ) -> Iterator[Union[CellResult, CaptureResult, _CellFailure]]:
-        """Execute tasks with bounded retries and an optional per-attempt timeout.
-
-        Yields one terminal outcome per task, in completion order.  Inline
-        execution (no pool) is used when there is nothing to parallelise and
-        no timeout to enforce; otherwise tasks run under a worker pool with
-        at most ``jobs`` in flight, so a per-attempt clock can start the
-        moment a task is actually handed to a worker.
-        """
-        if not tasks:
-            return
-        attempts: Dict[int, int] = {i: 1 for i in range(len(tasks))}
-        queue: deque = deque(enumerate(tasks))
-        max_attempts = self.retries + 1
-
-        use_pool = self.timeout is not None or (self.jobs > 1 and len(tasks) > 1)
-        if not use_pool:
-            while queue:
-                index, task = queue.popleft()
-                outcome = _execute_task(task)
-                if isinstance(outcome, _CellFailure) and attempts[index] < max_attempts:
-                    attempts[index] += 1
-                    self._report(
-                        f"{outcome.unit} {outcome.key}: failed, retrying "
-                        f"(attempt {attempts[index]}/{max_attempts})"
-                    )
-                    queue.append((index, task))
-                    continue
-                yield outcome
-            return
-
-        context = multiprocessing.get_context(self._mp_context)
-        while queue:
-            workers = min(self.jobs, len(queue))
-            pool = context.Pool(processes=workers)
-            recycle_pool = False
-            try:
-                in_flight: Dict[int, Tuple] = {}  # index -> (async result, started, task)
-                while queue or in_flight:
-                    while queue and len(in_flight) < workers:
-                        index, task = queue.popleft()
-                        in_flight[index] = (
-                            pool.apply_async(_execute_task, (task,)),
-                            time.monotonic(),
-                            task,
-                        )
-                    progressed = False
-                    for index in [i for i, (a, _, _) in in_flight.items() if a.ready()]:
-                        async_result, _, task = in_flight.pop(index)
-                        outcome = async_result.get()
-                        progressed = True
-                        if (
-                            isinstance(outcome, _CellFailure)
-                            and attempts[index] < max_attempts
-                        ):
-                            attempts[index] += 1
-                            self._report(
-                                f"{outcome.unit} {outcome.key}: failed, retrying "
-                                f"(attempt {attempts[index]}/{max_attempts})"
-                            )
-                            queue.append((index, task))
-                        else:
-                            yield outcome
-                    if self.timeout is not None:
-                        now = time.monotonic()
-                        expired = [
-                            i
-                            for i, (a, started, _) in in_flight.items()
-                            if now - started > self.timeout
-                        ]
-                        if expired:
-                            # The stuck workers cannot be reclaimed: recycle
-                            # the whole pool.  Expired tasks are charged an
-                            # attempt; innocent in-flight tasks are requeued
-                            # free and restart in the fresh pool.
-                            for index in expired:
-                                _, _, task = in_flight.pop(index)
-                                unit = "gateway capture" if task[0] == "capture" else "cell"
-                                if attempts[index] < max_attempts:
-                                    attempts[index] += 1
-                                    self._report(
-                                        f"{unit} {_task_key(task)}: timed out after "
-                                        f"{self.timeout:g}s, retrying "
-                                        f"(attempt {attempts[index]}/{max_attempts})"
-                                    )
-                                    queue.append((index, task))
-                                else:
-                                    yield _CellFailure(
-                                        key=_task_key(task),
-                                        error=(
-                                            f"timed out after {self.timeout:g}s "
-                                            f"({max_attempts} attempt(s))"
-                                        ),
-                                        worker_traceback="(worker terminated on timeout)",
-                                        unit=unit,
-                                    )
-                            for index, (_, _, task) in in_flight.items():
-                                queue.append((index, task))
-                            in_flight.clear()
-                            recycle_pool = True
-                            break
-                    if not progressed and in_flight:
-                        time.sleep(self._POLL_INTERVAL)
-                if not recycle_pool:
-                    return
-            finally:
-                pool.terminate()
-                pool.join()
-
     def _report(self, line: str) -> None:
         if self._progress is not None:
             self._progress(line)
 
 
-__all__ = ["SweepRunner", "SweepReport"]
+# ``run_cell`` / ``run_capture`` are re-exported here on purpose: backends
+# resolve them through this module's namespace at call time, which is the
+# seam the fault-injection tests monkeypatch.
+__all__ = ["SweepRunner", "SweepReport", "run_capture", "run_cell"]

@@ -291,8 +291,12 @@ class _Handler(BaseHTTPRequestHandler):
             body = json.loads(raw.decode("utf-8")) if raw else {}
         except (json.JSONDecodeError, UnicodeDecodeError):
             raise _HTTPError(400, "request body is not valid JSON") from None
+        if isinstance(body, dict) and "cells" in body:
+            return self._enqueue_cells(body)
         if not isinstance(body, dict) or not body.get("experiment"):
-            raise _HTTPError(400, "JSON body with an 'experiment' field is required")
+            raise _HTTPError(
+                400, "JSON body with an 'experiment' or 'cells' field is required"
+            )
         name = str(body["experiment"])
         preset = str(body.get("preset", "fast"))
         seed = int(body.get("seed", _default_seed()))
@@ -337,6 +341,83 @@ class _Handler(BaseHTTPRequestHandler):
                 "preset": preset,
                 "requested": len(cells),
                 "cached": len(cells) - len(missing),
+                "enqueued": enqueued,
+                "already_pending": already_pending,
+                "pending_file": str(self.server.pending_path),
+            },
+            200,
+        )
+
+    def _enqueue_cells(self, body: Dict[str, Any]) -> Tuple[Dict[str, Any], int]:
+        """``POST /enqueue`` with explicit cell payloads.
+
+        Each entry must carry ``cell_key``, ``fingerprint`` and ``config``,
+        and the fingerprint must hash from the config *exactly* — a payload
+        whose claimed fingerprint does not match is rejected with 400 naming
+        the mismatch, because accepting it would let a tampered (or stale)
+        client alias a record onto the wrong cache key when the queue is
+        drained.
+        """
+        from repro.runner.backends.codec import verify_fingerprint
+
+        cells = body.get("cells")
+        if not isinstance(cells, list) or not cells:
+            raise _HTTPError(400, "'cells' must be a non-empty list of objects")
+        entries: List[Dict[str, Any]] = []
+        for position, payload in enumerate(cells):
+            if not isinstance(payload, dict) or not all(
+                key in payload for key in ("cell_key", "fingerprint", "config")
+            ):
+                raise _HTTPError(
+                    400,
+                    f"cells[{position}] needs cell_key, fingerprint and "
+                    f"config fields",
+                )
+            try:
+                verify_fingerprint(
+                    str(payload["cell_key"]),
+                    payload["config"],
+                    str(payload["fingerprint"]),
+                )
+            except ConfigurationError as exc:
+                raise _HTTPError(400, f"cells[{position}]: {exc}") from None
+            entries.append(payload)
+
+        store = ResultsStore(self.server.store_root)
+        enqueued = 0
+        already_pending = 0
+        cached = 0
+        with self.server.pending_lock:
+            pending = _pending_fingerprints(self.server.pending_path)
+            lines = []
+            for payload in entries:
+                fingerprint = str(payload["fingerprint"])
+                if store.get(fingerprint) is not None:
+                    cached += 1
+                    continue
+                if fingerprint in pending:
+                    already_pending += 1
+                    continue
+                pending.add(fingerprint)
+                lines.append(
+                    json.dumps(
+                        {
+                            "schema": SCHEMA_VERSION,
+                            "cell_key": str(payload["cell_key"]),
+                            "fingerprint": fingerprint,
+                            "config": payload["config"],
+                        },
+                        sort_keys=True,
+                    )
+                )
+                enqueued += 1
+            if lines:
+                with self.server.pending_path.open("a", encoding="utf-8") as handle:
+                    handle.write("\n".join(lines) + "\n")
+        return (
+            {
+                "requested": len(entries),
+                "cached": cached,
                 "enqueued": enqueued,
                 "already_pending": already_pending,
                 "pending_file": str(self.server.pending_path),

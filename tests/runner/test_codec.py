@@ -1,0 +1,169 @@
+"""Tests for the queue codec: config dict → cell/capture reconstruction.
+
+The codec is what lets a pull-based worker execute work it never built in
+Python: every reconstruction must round-trip to the *exact* claimed
+fingerprint, and anything this build cannot faithfully rebuild must be
+refused loudly — silently executing with different parameters would poison
+the content-addressed cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import CollectionMode, ScenarioConfig
+from repro.padding.disturbance import InterruptDisturbance
+from repro.padding.policies import cit_policy, vit_policy
+from repro.runner import SweepCell
+from repro.runner.backends.codec import (
+    capture_from_config,
+    cell_from_config,
+    policy_from_config,
+    scenario_from_config,
+    verify_fingerprint,
+)
+from repro.runner.capture import CaptureSpec
+
+
+def make_cell(**overrides) -> SweepCell:
+    params = dict(
+        key="codec/cell",
+        scenario=ScenarioConfig(n_hops=1, cross_utilization=0.15),
+        sample_sizes=(50, 100),
+        trials=4,
+        mode=CollectionMode.ANALYTIC,
+        seed=11,
+    )
+    params.update(overrides)
+    return SweepCell(**params)
+
+
+class TestVerifyFingerprint:
+    def test_matching_fingerprint_is_returned(self):
+        cell = make_cell()
+        config = cell.config_dict()
+        assert verify_fingerprint(cell.key, config, cell.fingerprint()) == (
+            cell.fingerprint()
+        )
+
+    def test_mismatch_names_both_fingerprints(self):
+        cell = make_cell()
+        with pytest.raises(ConfigurationError) as excinfo:
+            verify_fingerprint(cell.key, cell.config_dict(), "deadbeef")
+        message = str(excinfo.value)
+        assert "deadbeef" in message
+        assert cell.fingerprint() in message
+
+    def test_tampered_config_is_refused(self):
+        cell = make_cell()
+        config = cell.config_dict()
+        config["trials"] = 999
+        with pytest.raises(ConfigurationError):
+            verify_fingerprint(cell.key, config, cell.fingerprint())
+
+
+class TestCellRoundTrip:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {},
+            {"mode": CollectionMode.SIMULATION, "collect_piat_stats": True},
+            {"entropy_bin_width": 0.005},
+            {"kde_bandwidth": 0.002},
+            {"sample_sizes": (10,), "seed": 2003, "trials": 2},
+        ],
+    )
+    def test_fingerprint_exact_reconstruction(self, overrides):
+        cell = make_cell(**overrides)
+        rebuilt = cell_from_config(cell.key, cell.config_dict())
+        assert rebuilt.fingerprint() == cell.fingerprint()
+        assert rebuilt.config_dict() == cell.config_dict()
+
+    def test_policy_variants_round_trip(self):
+        for policy in (cit_policy(0.01), vit_policy(0.003, 0.01, "uniform")):
+            cell = make_cell(scenario=ScenarioConfig(policy=policy))
+            rebuilt = cell_from_config(cell.key, cell.config_dict())
+            assert rebuilt.fingerprint() == cell.fingerprint()
+
+    def test_disturbance_round_trips(self):
+        scenario = ScenarioConfig(
+            disturbance=InterruptDisturbance(
+                base_jitter_std=2e-4, blocking_window=0.02, blocking_delay_mean=1e-3
+            )
+        )
+        cell = make_cell(scenario=scenario)
+        rebuilt = cell_from_config(cell.key, cell.config_dict())
+        assert rebuilt.fingerprint() == cell.fingerprint()
+
+    def test_hybrid_cell_with_capture_round_trips(self):
+        scenario = ScenarioConfig(n_hops=1, cross_utilization=0.15)
+        spec = CaptureSpec(
+            key="codec/cell/capture",
+            scenario=scenario,
+            n_intervals=64,
+            seed=11,
+        )
+        cell = make_cell(
+            scenario=scenario,
+            mode=CollectionMode.HYBRID,
+            capture=spec,
+            sample_sizes=(10,),
+            trials=4,
+            noise_offsets=("noise-train", "noise-test"),
+        )
+        rebuilt = cell_from_config(cell.key, cell.config_dict())
+        assert rebuilt.capture is not None
+        assert rebuilt.capture.fingerprint() == cell.capture.fingerprint()
+        assert rebuilt.fingerprint() == cell.fingerprint()
+
+    def test_wrong_schema_version_is_refused(self):
+        cell = make_cell()
+        config = cell.config_dict()
+        config["schema"] = 999
+        with pytest.raises(ConfigurationError) as excinfo:
+            cell_from_config(cell.key, config)
+        assert "schema" in str(excinfo.value)
+
+    def test_missing_field_is_a_configuration_error(self):
+        cell = make_cell()
+        config = cell.config_dict()
+        del config["trials"]
+        with pytest.raises(ConfigurationError):
+            cell_from_config(cell.key, config)
+
+    def test_unknown_policy_kind_is_refused(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            policy_from_config({"kind": "FIFO", "mean_interval": 0.01})
+        assert "FIFO" in str(excinfo.value)
+
+    def test_scenario_without_policy_is_refused(self):
+        with pytest.raises(ConfigurationError):
+            scenario_from_config({"low_rate_pps": 10.0})
+
+
+class TestCaptureRoundTrip:
+    def _spec(self) -> CaptureSpec:
+        return CaptureSpec(
+            key="codec/capture",
+            scenario=ScenarioConfig(n_hops=1),
+            n_intervals=128,
+            seed=3,
+        )
+
+    def test_fingerprint_exact_reconstruction(self):
+        spec = self._spec()
+        rebuilt = capture_from_config(spec.key, spec.config_dict())
+        assert rebuilt.fingerprint() == spec.fingerprint()
+        assert rebuilt.config_dict() == spec.config_dict()
+
+    def test_non_capture_kind_is_refused(self):
+        cell = make_cell()
+        with pytest.raises(ConfigurationError) as excinfo:
+            capture_from_config("x", cell.config_dict())
+        assert "gateway-capture" in str(excinfo.value)
+
+    def test_key_is_cosmetic_and_excluded_from_the_fingerprint(self):
+        spec = self._spec()
+        rebuilt = capture_from_config("a/totally/different/key", spec.config_dict())
+        assert rebuilt.fingerprint() == spec.fingerprint()

@@ -198,6 +198,102 @@ class TestEnqueue:
         assert body["enqueued"] == 0
 
 
+class TestEnqueueCells:
+    """``POST /enqueue`` with explicit cell payloads (the queue-worker route)."""
+
+    def _payload(self, cell) -> dict:
+        return {
+            "cell_key": cell.key,
+            "fingerprint": cell.fingerprint(),
+            "config": cell.config_dict(),
+        }
+
+    def _fresh_cell(self, key="server/cells/fresh", seed=404):
+        from repro.experiments import CollectionMode, ScenarioConfig
+        from repro.runner import SweepCell
+
+        return SweepCell(
+            key=key,
+            scenario=ScenarioConfig(n_hops=1, cross_utilization=0.42),
+            sample_sizes=(50,),
+            trials=4,
+            mode=CollectionMode.ANALYTIC,
+            seed=seed,
+        )
+
+    def test_valid_cells_land_in_the_pending_file(self, served):
+        root, base = served
+        cell = self._fresh_cell()
+        status, body = post_json(base, "/enqueue", {"cells": [self._payload(cell)]})
+        assert status == 200
+        assert body["requested"] == body["enqueued"] == 1
+        lines = [
+            json.loads(line)
+            for line in (root / PENDING_FILENAME).read_text().splitlines()
+            if line.strip()
+        ]
+        mine = [line for line in lines if line["fingerprint"] == cell.fingerprint()]
+        assert len(mine) == 1
+        assert mine[0]["cell_key"] == cell.key
+        assert mine[0]["config"] == cell.config_dict()
+        # A repeated POST dedupes against the pending file.
+        _, again = post_json(base, "/enqueue", {"cells": [self._payload(cell)]})
+        assert again["enqueued"] == 0
+        assert again["already_pending"] == 1
+
+    def test_cached_cells_are_reported_not_enqueued(self, served):
+        _, base = served
+        experiment = get_experiment("fig6", preset="smoke")
+        cached = experiment.cells()[0]
+        status, body = post_json(base, "/enqueue", {"cells": [self._payload(cached)]})
+        assert status == 200
+        assert body["cached"] == 1
+        assert body["enqueued"] == 0
+
+    def test_mismatched_fingerprint_is_400_naming_the_mismatch(self, served):
+        _, base = served
+        cell = self._fresh_cell(key="server/cells/tampered", seed=405)
+        payload = self._payload(cell)
+        payload["fingerprint"] = "deadbeefdeadbeef"
+        status, body = error_of(
+            lambda: post_json(base, "/enqueue", {"cells": [payload]})
+        )
+        assert status == 400
+        assert "does not match" in body["error"]
+        assert "deadbeefdeadbeef" in body["error"]
+        assert cell.fingerprint() in body["error"]
+
+    def test_tampered_config_is_refused_the_same_way(self, served):
+        _, base = served
+        cell = self._fresh_cell(key="server/cells/config-tamper", seed=406)
+        payload = self._payload(cell)
+        payload["config"] = dict(payload["config"], trials=999)
+        status, body = error_of(
+            lambda: post_json(base, "/enqueue", {"cells": [payload]})
+        )
+        assert status == 400
+        assert "does not match" in body["error"]
+
+    def test_incomplete_cell_entry_is_400_naming_the_position(self, served):
+        _, base = served
+        cell = self._fresh_cell(key="server/cells/incomplete", seed=407)
+        payload = self._payload(cell)
+        del payload["config"]
+        status, body = error_of(
+            lambda: post_json(
+                base, "/enqueue", {"cells": [self._payload(cell), payload]}
+            )
+        )
+        assert status == 400
+        assert "cells[1]" in body["error"]
+
+    def test_empty_cells_list_is_400(self, served):
+        _, base = served
+        status, body = error_of(lambda: post_json(base, "/enqueue", {"cells": []}))
+        assert status == 400
+        assert "non-empty" in body["error"]
+
+
 class TestConcurrency:
     def test_hammering_points_returns_identical_bodies(self, served):
         _, base = served
