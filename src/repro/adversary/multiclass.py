@@ -20,15 +20,35 @@ from repro.adversary.features import FeatureStatistic
 from repro.exceptions import AnalysisError
 
 
+def sorted_labels(labels: "Sequence[str] | set") -> List[str]:
+    """Unique class labels in canonical order: numeric when possible.
+
+    Rate-class labels are numeric strings (``"2"``, ``"5.5"``, ``"10"``);
+    lexicographic ordering would place ``"10"`` before ``"2"`` and scramble
+    every rendered matrix row.  When every label parses as a number, sort by
+    value (ties broken lexicographically, so the order stays total and
+    deterministic); otherwise fall back to plain string order.
+    """
+    unique = sorted(set(map(str, labels)))
+    try:
+        return sorted(unique, key=float)
+    except ValueError:
+        return unique
+
+
 def confusion_matrix(
     true_labels: Sequence[str], predicted_labels: Sequence[str]
 ) -> Dict[str, Dict[str, int]]:
-    """Build ``matrix[true][predicted]`` counts from parallel label sequences."""
+    """Build ``matrix[true][predicted]`` counts from parallel label sequences.
+
+    Rows and columns are ordered by :func:`sorted_labels` — numerically when
+    all labels parse as numbers — so multi-rate matrices read low to high.
+    """
     if len(true_labels) != len(predicted_labels):
         raise AnalysisError("true and predicted label sequences must have equal length")
     if not true_labels:
         raise AnalysisError("cannot build a confusion matrix from zero trials")
-    labels = sorted(set(map(str, true_labels)) | set(map(str, predicted_labels)))
+    labels = sorted_labels(set(map(str, true_labels)) | set(map(str, predicted_labels)))
     matrix: Dict[str, Dict[str, int]] = {t: {p: 0 for p in labels} for t in labels}
     for true, predicted in zip(true_labels, predicted_labels):
         matrix[str(true)][str(predicted)] += 1
@@ -113,6 +133,7 @@ def evaluate_multiclass_attack(
 
 
 __all__ = [
+    "sorted_labels",
     "confusion_matrix",
     "per_class_detection_rates",
     "overall_detection_rate",

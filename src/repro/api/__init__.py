@@ -9,8 +9,8 @@ This package is the stable surface for defining and running evaluations:
   publishes an experiment under a name;
   :func:`~repro.api.registry.get_experiment` builds one from a preset plus
   ``--set``-style overrides; :func:`~repro.api.registry.list_experiments`
-  enumerates them.  The paper's figures (``fig4``–``fig8``) and the three
-  ablations are pre-registered on import.
+  enumerates them.  The paper's figures (``fig4``–``fig8``), the three
+  ablations and the population experiment are pre-registered on import.
 * :class:`~repro.api.protocol.ExperimentResult` — a typed wrapper around
   one executed experiment: rendered tables, raw cell results, and full
   provenance (preset, seeds, confidence, cell fingerprints).
@@ -52,6 +52,7 @@ from repro.api.registry import (
 from repro.api.scenario import (
     TOML_AVAILABLE,
     ScenarioExperiment,
+    ScenarioPoint,
     ScenarioResult,
     ScenarioSpec,
     parse_policy,
@@ -60,6 +61,7 @@ from repro.api.scenario import (
 # Importing the definition modules is what populates the registry.
 from repro.api import ablations as _ablations  # noqa: F401
 from repro.api import figures as _figures  # noqa: F401
+from repro.api import population as _population  # noqa: F401
 
 __all__ = [
     "DEFAULT_SEED",
@@ -69,6 +71,7 @@ __all__ = [
     "ExperimentDefinition",
     "ExperimentResult",
     "ScenarioExperiment",
+    "ScenarioPoint",
     "ScenarioResult",
     "ScenarioSpec",
     "apply_overrides",

@@ -1,0 +1,54 @@
+"""Registry definition for the population experiment.
+
+Registering it makes the population subsystem runnable from the CLI
+(``repro run population --preset fast``) and lets ``repro sweep`` pool its
+per-AS and multi-rate cells with the figures'.  The cost of the experiment
+scales with the number of ASes, not the number of flows — a thousand-flow
+population compiles into one cell per inhabited AS plus a handful of
+multi-rate depth cells — so every preset keeps the full 600-flow population
+and shrinks only the graph, the trials and the sample sizes.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import ExperimentDefinition, register_experiment
+from repro.experiments import CollectionMode
+from repro.population import PopulationConfig, PopulationExperiment
+
+
+@register_experiment("population")
+class PopulationDefinition(ExperimentDefinition):
+    """Population-scale anonymity on a generated multi-AS topology."""
+
+    config_cls = PopulationConfig
+
+    def build(self, config: PopulationConfig) -> PopulationExperiment:
+        return PopulationExperiment(config)
+
+    def preset_config(self, preset: str, seed: int) -> PopulationConfig:
+        if preset == "paper":
+            return PopulationConfig(seed=seed)
+        if preset == "fast":
+            return PopulationConfig(
+                trials=8, mode=CollectionMode.ANALYTIC, seed=seed
+            )
+        if preset == "quick":
+            return PopulationConfig(
+                n_as=8,
+                sample_sizes=(100, 300),
+                trials=6,
+                mode=CollectionMode.ANALYTIC,
+                mix_depth_points=2,
+                seed=seed,
+            )
+        return PopulationConfig(
+            n_as=5,
+            sample_sizes=(50, 100),
+            trials=4,
+            mode=CollectionMode.ANALYTIC,
+            mix_depth_points=2,
+            seed=seed,
+        )
+
+
+__all__ = ["PopulationDefinition"]

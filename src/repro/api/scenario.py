@@ -27,6 +27,25 @@ axes (``policies × rate_pairs × hops × utilizations``) and the run settings
 
     # repro run --scenario my_wan.toml --jobs 4 --cache-dir .sweep-cache
 
+Instead of the ``[grid]`` product, a scenario may enumerate its points
+explicitly as ``[[points]]`` tables — each names a key and overrides any
+``[base]`` field, compiling through
+:meth:`~repro.runner.grid.GridSpec.from_points`:
+
+.. code-block:: toml
+
+    [[points]]
+    key = "lan"
+    n_hops = 0
+
+    [[points]]
+    key = "wan-loaded"
+    n_hops = 15
+    cross_utilization = 0.4
+
+A directory of scenario files is a *scenario suite*:
+``repro sweep --scenario DIR/`` pools the cells of every ``*.toml`` inside.
+
 :class:`ScenarioExperiment` wraps a spec as a first-class
 :class:`~repro.api.protocol.Experiment`: its cells pool into any sweep, it
 caches into the same results store, and it aggregates across seeds like the
@@ -37,7 +56,7 @@ the paper provides one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -173,6 +192,63 @@ def _policy_to_dict(policy: PaddingPolicy) -> Dict[str, Any]:
 
 
 @dataclass(frozen=True)
+class ScenarioPoint:
+    """One explicit grid point: a display key plus ``[base]``-field overrides.
+
+    The file-level counterpart of :class:`~repro.runner.grid.GridPoint` —
+    a ``[[points]]`` table carries a ``key`` and any subset of the
+    ``[base]`` fields; the point's scenario is the base with those fields
+    replaced.  Overrides are stored as a sorted ``(field, value)`` tuple so
+    the spec stays hashable and two specs listing the same overrides in a
+    different order compare equal.
+    """
+
+    key: str
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.key, str) or not self.key:
+            raise ConfigurationError(
+                f"a [[points]] entry needs a non-empty string key, got {self.key!r}"
+            )
+        if "@" in self.key or "/" in self.key:
+            raise ConfigurationError(
+                f"point key {self.key!r} must not contain '/' or '@' "
+                f"(it becomes one cell-key segment)"
+            )
+        if isinstance(self.overrides, Mapping):
+            pairs = tuple(self.overrides.items())
+        else:
+            pairs = tuple((str(name), value) for name, value in self.overrides)
+        unknown = sorted({name for name, _ in pairs} - set(_BASE_FIELDS))
+        if unknown:
+            raise ConfigurationError(
+                f"[[points]] entry {self.key!r} has unknown keys {unknown}; "
+                f"valid keys: {', '.join(_BASE_FIELDS)}"
+            )
+        if len({name for name, _ in pairs}) != len(pairs):
+            raise ConfigurationError(
+                f"[[points]] entry {self.key!r} repeats an override field"
+            )
+        parsed = tuple(
+            (name, parse_policy(value) if name == "policy" else value)
+            for name, value in sorted(pairs)
+        )
+        object.__setattr__(self, "overrides", parsed)
+
+    def scenario(self, base: ScenarioConfig) -> ScenarioConfig:
+        """The point's scenario: ``base`` with the overrides applied."""
+        return replace(base, **dict(self.overrides))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``[[points]]`` table as plain data (inverse of parsing)."""
+        entry: Dict[str, Any] = {"key": self.key}
+        for name, value in self.overrides:
+            entry[name] = _policy_to_dict(value) if name == "policy" else value
+        return entry
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A data-only scenario grid: base scenario × axes × run settings.
 
@@ -189,6 +265,7 @@ class ScenarioSpec:
     rate_pairs: Optional[Tuple[Tuple[float, float], ...]] = None
     hops: Optional[Tuple[int, ...]] = None
     utilizations: Optional[Tuple[float, ...]] = None
+    points: Optional[Tuple[ScenarioPoint, ...]] = None
     sample_sizes: Tuple[int, ...] = (1000,)
     trials: int = 10
     mode: CollectionMode = CollectionMode.ANALYTIC
@@ -221,6 +298,42 @@ class ScenarioSpec:
             object.__setattr__(
                 self, "utilizations", tuple(float(u) for u in self.utilizations)
             )
+        if self.points is not None:
+            parsed_points: List[ScenarioPoint] = []
+            for entry in self.points:
+                if isinstance(entry, ScenarioPoint):
+                    parsed_points.append(entry)
+                elif isinstance(entry, Mapping):
+                    table = dict(entry)
+                    parsed_points.append(
+                        ScenarioPoint(
+                            key=table.pop("key", None),
+                            overrides=tuple(table.items()),
+                        )
+                    )
+                else:
+                    raise ConfigurationError(
+                        f"a [[points]] entry must be a table, got {entry!r}"
+                    )
+            if not parsed_points:
+                raise ConfigurationError("[[points]] must list at least one point")
+            object.__setattr__(self, "points", tuple(parsed_points))
+            declared_axes = [
+                axis for axis in _GRID_KEYS if getattr(self, axis) is not None
+            ]
+            if declared_axes:
+                raise ConfigurationError(
+                    f"a scenario declares either [grid] axes or explicit "
+                    f"[[points]] tables, not both (got axes {declared_axes} "
+                    f"alongside {len(parsed_points)} points)"
+                )
+            seen_keys = set()
+            for point in parsed_points:
+                if point.key in seen_keys:
+                    raise ConfigurationError(
+                        f"[[points]] keys must be unique; {point.key!r} appears twice"
+                    )
+                seen_keys.add(point.key)
         object.__setattr__(self, "sample_sizes", tuple(int(n) for n in self.sample_sizes))
         object.__setattr__(self, "features", tuple(str(f) for f in self.features))
         # Grid construction re-validates everything scenario-level; fail the
@@ -244,11 +357,13 @@ class ScenarioSpec:
         description = str(payload.pop("description", ""))
         base_table = dict(payload.pop("base", {}) or {})
         grid_table = dict(payload.pop("grid", {}) or {})
+        points_list = payload.pop("points", None)
         run_table = dict(payload.pop("run", {}) or {})
         if payload:
             raise ConfigurationError(
                 f"scenario file: unknown top-level keys {sorted(payload)}; "
-                f"expected name/title/description and the base/grid/run tables"
+                f"expected name/title/description, the base/grid/run tables "
+                f"and optional [[points]] tables"
             )
 
         unknown = set(base_table) - set(_BASE_FIELDS)
@@ -279,6 +394,13 @@ class ScenarioSpec:
         for axis in ("rate_pairs", "hops", "utilizations"):
             if axis in grid_table:
                 kwargs[axis] = tuple(grid_table[axis])
+        if points_list is not None:
+            if not isinstance(points_list, Sequence) or isinstance(points_list, str):
+                raise ConfigurationError(
+                    f"scenario 'points' must be an array of tables "
+                    f"([[points]]), got {points_list!r}"
+                )
+            kwargs["points"] = tuple(points_list)
         for key, value in run_table.items():
             kwargs[key] = tuple(value) if key in ("sample_sizes", "features") else value
         return cls(
@@ -344,14 +466,33 @@ class ScenarioSpec:
         document["base"] = base
         if grid:
             document["grid"] = grid
+        if self.points is not None:
+            document["points"] = [point.to_dict() for point in self.points]
         document["run"] = run
         return document
 
     # ------------------------------------------------------------------- grid
     def grid(self, seeds: Optional[Sequence[int]] = None) -> "GridSpec":
-        """The spec expanded into a grid product over its axes and seeds."""
-        from repro.runner import GridSpec
+        """The spec compiled into a grid: axis product or explicit points."""
+        from repro.runner import GridPoint, GridSpec
 
+        if self.points is not None:
+            return GridSpec.from_points(
+                self.name,
+                [
+                    GridPoint(
+                        key=f"{self.name}/{point.key}",
+                        scenario=point.scenario(self.base),
+                    )
+                    for point in self.points
+                ],
+                seeds=resolve_seeds(self.seed, seeds),
+                sample_sizes=self.sample_sizes,
+                trials=self.trials,
+                mode=self.mode,
+                features=self.features,
+                entropy_bin_width=self.entropy_bin_width,
+            )
         return GridSpec.product(
             self.name,
             self.base,
@@ -520,6 +661,7 @@ class ScenarioExperiment:
 __all__ = [
     "TOML_AVAILABLE",
     "ScenarioExperiment",
+    "ScenarioPoint",
     "ScenarioResult",
     "ScenarioSpec",
     "parse_policy",

@@ -56,7 +56,7 @@ from repro.api import (
     parse_set_options,
     run_experiment,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigurationError, ReproError
 from repro.runner import (
     BACKEND_NAMES,
     DEFAULT_MAX_REGRESSION,
@@ -241,8 +241,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         type=Path,
         default=[],
-        metavar="FILE",
-        help="also pool the cells of a declarative scenario file (repeatable)",
+        metavar="FILE_OR_DIR",
+        help="also pool the cells of a declarative scenario file, or of every "
+        "*.toml inside a scenario directory (repeatable)",
     )
 
     bench = subcommands.add_parser(
@@ -757,6 +758,27 @@ def _load_scenario(path: Path, explicit_seed: Optional[int]) -> ScenarioExperime
     return ScenarioExperiment(spec)
 
 
+def _expand_scenario_paths(paths: Sequence[Path]) -> List[Path]:
+    """Scenario arguments with directories expanded to their ``*.toml`` files.
+
+    A directory is a *scenario suite*: every ``*.toml`` inside pools into
+    the sweep, in sorted filename order so the combined report is stable
+    across filesystems.
+    """
+    expanded: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            found = sorted(path.glob("*.toml"))
+            if not found:
+                raise ConfigurationError(
+                    f"scenario directory {str(path)!r} contains no *.toml files"
+                )
+            expanded.extend(found)
+        else:
+            expanded.append(path)
+    return expanded
+
+
 def _scenario_seeds(experiment: ScenarioExperiment, count: int):
     """A scenario's multi-seed fan-out, based on its own (resolved) seed."""
     if count > 1:
@@ -806,7 +828,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     (get_experiment(name, preset, seed), seeds)
                     for name in args.figures
                 ]
-                for path in args.scenarios:
+                for path in _expand_scenario_paths(args.scenarios):
                     experiment = _load_scenario(path, args.seed)
                     pooled.append((experiment, _scenario_seeds(experiment, args.seeds)))
                 all_cells = [

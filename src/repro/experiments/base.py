@@ -41,7 +41,7 @@ from __future__ import annotations
 import enum
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -493,6 +493,60 @@ def collect_labelled_intervals(
     return PaddedStreamCapture(scenario=scenario, mode=mode, intervals=intervals)
 
 
+def multiclass_rate_labels(rate_classes: "Sequence[float]") -> Dict[str, float]:
+    """Mapping from class label to payload rate for an arbitrary rate mix.
+
+    Labels are the ``%g``-formatted rates (``2``, ``5.5``, ``10``) — compact,
+    unambiguous, and numerically sortable by
+    :func:`repro.adversary.multiclass.sorted_labels`.
+    """
+    labels = {f"{float(rate):g}": float(rate) for rate in rate_classes}
+    if len(labels) != len(tuple(rate_classes)):
+        raise ConfigurationError(
+            f"rate_classes={tuple(rate_classes)!r} contain rates that collide "
+            f"under the %g label format"
+        )
+    return labels
+
+
+def collect_multiclass_intervals(
+    scenario: ScenarioConfig,
+    rate_classes: "Sequence[float]",
+    n_intervals_per_class: int,
+    seed: int = 0,
+    seed_offset: str = "train",
+) -> PaddedStreamCapture:
+    """Analytic labelled captures for an arbitrary number of payload rates.
+
+    The Section 6 extension of :func:`collect_labelled_intervals`: one
+    Gaussian PIAT capture per rate class, with the per-class variance built
+    from the same components the calibrated two-rate model uses —
+    ``sigma_r^2 = timer variance + gateway disturbance variance at rate r +
+    analytic network variance``.  Streams are named exactly like the binary
+    analytic mode (``analytic-<offset>-<label>``), so a three-class capture
+    whose extreme rates match a binary scenario draws the extreme classes
+    from *different* streams only via their labels, never via call order.
+    """
+    if n_intervals_per_class < 2:
+        raise ConfigurationError(
+            f"n_intervals_per_class={n_intervals_per_class!r} must be >= 2"
+        )
+    labels = multiclass_rate_labels(rate_classes)
+    streams = RandomStreams(seed=seed)
+    tau = scenario.policy.mean_interval
+    base_variance = scenario.policy.timer_variance + scenario.net_piat_variance()
+    intervals: Dict[str, np.ndarray] = {}
+    for label, rate in labels.items():
+        sigma = float(np.sqrt(base_variance + scenario.disturbance.piat_variance(rate)))
+        rng = streams.get(f"analytic-{seed_offset}-{label}")
+        draws = rng.normal(tau, sigma, size=n_intervals_per_class)
+        # PIATs are strictly positive; clip exactly like GaussianPIATModel.
+        intervals[label] = np.maximum(draws, 1e-9)
+    return PaddedStreamCapture(
+        scenario=scenario, mode=CollectionMode.ANALYTIC, intervals=intervals
+    )
+
+
 __all__ = [
     "CollectionMode",
     "KERNEL_ENV_VAR",
@@ -504,5 +558,7 @@ __all__ = [
     "ScenarioConfig",
     "PaddedStreamCapture",
     "collect_labelled_intervals",
+    "collect_multiclass_intervals",
+    "multiclass_rate_labels",
     "apply_analytic_network_noise",
 ]

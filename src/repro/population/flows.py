@@ -1,0 +1,257 @@
+"""Flow populations: placement, rate mix, and the sweep grids they compile to.
+
+A *flow* is one protected sender: it lives in an AS (placed with probability
+proportional to the AS's degree, mirroring how address space concentrates in
+well-connected networks) and transmits payload at one of a small number of
+rate classes.  Flows in the same AS share that AS's sender gateway, so the
+population compiles into *per-AS* sweep cells rather than per-flow ones — a
+thousand flows cost as many cells as there are inhabited ASes:
+
+* :func:`hybrid_population_grid` — one binary (lowest-vs-highest rate) cell
+  per inhabited AS.  In hybrid mode all ASes share **one** cached gateway
+  capture (the gateway configuration is identical everywhere; only the
+  rendered path differs), reusing the two-level capture machinery and the
+  vectorized kernel.
+* :func:`multiclass_population_grid` — one analytic multi-rate cell per
+  distinct path depth, carrying the full rate mix through
+  ``SweepCell.rate_classes`` so the results include confusion matrices.
+
+Placement and rate assignment draw from the declared ``population-placement``
+and ``population-mix`` streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.base import CollectionMode, ScenarioConfig
+from repro.population.topology import ASTopology
+from repro.sim.random import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.runner import GridSpec
+
+
+@dataclass(frozen=True)
+class RateClass:
+    """One payload-rate class of the population mix."""
+
+    rate_pps: float
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.rate_pps <= 0.0:
+            raise ConfigurationError(f"rate_pps={self.rate_pps!r} must be positive")
+        if self.weight <= 0.0:
+            raise ConfigurationError(f"weight={self.weight!r} must be positive")
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One protected sender: its id, home AS, and payload-rate class."""
+
+    flow_id: int
+    as_id: int
+    rate_pps: float
+
+
+@dataclass(frozen=True)
+class FlowPopulation:
+    """A placed population: the topology plus every flow's AS and rate."""
+
+    topology: ASTopology
+    flows: Tuple[Flow, ...]
+
+    @property
+    def rate_classes(self) -> Tuple[float, ...]:
+        """The distinct payload rates present, sorted ascending."""
+        return tuple(sorted(set(flow.rate_pps for flow in self.flows)))
+
+    def sender_ases(self) -> Tuple[int, ...]:
+        """ASes with at least one flow, sorted by id."""
+        return tuple(sorted(set(flow.as_id for flow in self.flows)))
+
+    def flows_per_as(self) -> Dict[int, int]:
+        """Number of flows homed in each inhabited AS."""
+        counts: Dict[int, int] = {}
+        for flow in self.flows:
+            counts[flow.as_id] = counts.get(flow.as_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def cell_sizes(self) -> Dict[Tuple[int, str], int]:
+        """Anonymity-cell sizes: flows per ``(AS, rate label)`` pair.
+
+        Flows sharing a gateway *and* a rate class are indistinguishable to
+        the rate-classifying adversary — they form one anonymity set.
+        """
+        sizes: Dict[Tuple[int, str], int] = {}
+        for flow in self.flows:
+            cell = (flow.as_id, f"{flow.rate_pps:g}")
+            sizes[cell] = sizes.get(cell, 0) + 1
+        return dict(sorted(sizes.items()))
+
+
+def assemble_population(
+    topology: ASTopology, n_flows: int, rate_mix: Sequence[RateClass], seed: int
+) -> FlowPopulation:
+    """Place ``n_flows`` senders onto the topology and assign their rates.
+
+    Placement weight is the AS's degree (the core AS is excluded — it hosts
+    the receiver gateway, not senders); rate classes are drawn from the mix's
+    normalised weights.  Both draws come from their own declared stream, so
+    changing the mix never re-shuffles the placement and vice versa.
+    """
+    if n_flows < 1:
+        raise ConfigurationError(f"n_flows={n_flows!r} must be >= 1")
+    if not rate_mix:
+        raise ConfigurationError("rate_mix must be non-empty")
+    rates = [rate_class.rate_pps for rate_class in rate_mix]
+    if len(set(rates)) != len(rates):
+        raise ConfigurationError(f"rate_mix rates {rates!r} contain duplicates")
+
+    degrees = topology.degrees()
+    candidates = [
+        as_id for as_id in range(topology.spec.n_as) if as_id != topology.core_as
+    ]
+    weights = np.asarray([degrees[as_id] for as_id in candidates], dtype=float)
+    placement_p = weights / weights.sum()
+
+    mix_weights = np.asarray([rate_class.weight for rate_class in rate_mix], dtype=float)
+    mix_p = mix_weights / mix_weights.sum()
+
+    streams = RandomStreams(seed=seed)
+    placement_rng = streams.get("population-placement")
+    mix_rng = streams.get("population-mix")
+    homes = placement_rng.choice(np.asarray(candidates), size=n_flows, p=placement_p)
+    flow_rates = mix_rng.choice(np.asarray(rates, dtype=float), size=n_flows, p=mix_p)
+
+    flows = tuple(
+        Flow(flow_id=i, as_id=int(homes[i]), rate_pps=float(flow_rates[i]))
+        for i in range(n_flows)
+    )
+    return FlowPopulation(topology=topology, flows=flows)
+
+
+def _binary_base(scenario: ScenarioConfig, rates: Tuple[float, ...]) -> ScenarioConfig:
+    """The base scenario with the mix's extreme rates as the binary pair."""
+    if len(rates) < 2:
+        raise ConfigurationError(
+            f"a population needs at least two distinct rates, got {rates!r}"
+        )
+    return replace(scenario, low_rate_pps=rates[0], high_rate_pps=rates[-1])
+
+
+def hybrid_population_grid(
+    population: FlowPopulation,
+    scenario: ScenarioConfig,
+    *,
+    sample_sizes: Sequence[int],
+    trials: int,
+    mode: CollectionMode = CollectionMode.HYBRID,
+    seeds: Sequence[int] = (2003,),
+    prefix: str = "population",
+) -> "GridSpec":
+    """One binary sweep cell per inhabited AS, sharing a single gateway capture.
+
+    Every AS's gateway runs the identical padding configuration — only the
+    rendered AS-path (hops, utilization) differs — so in hybrid mode all
+    per-AS cells are children of **one** :class:`CaptureSpec` per sweep seed,
+    with per-AS noise salts keeping the path noise independent.
+    """
+    from repro.runner import GridPoint, GridSpec
+
+    base = _binary_base(scenario, population.rate_classes)
+    points = [
+        GridPoint(
+            key=f"{prefix}/as={as_id}",
+            scenario=population.topology.scenario_for(base, as_id),
+            shared_capture=True,
+            capture_key=f"{prefix}/gateway-capture",
+            noise_offsets=(f"train-as{as_id}", f"test-as{as_id}"),
+        )
+        for as_id in population.sender_ases()
+    ]
+    return GridSpec.from_points(
+        prefix,
+        points,
+        seeds=tuple(seeds),
+        sample_sizes=tuple(sample_sizes),
+        trials=trials,
+        mode=mode,
+    )
+
+
+def multiclass_population_grid(
+    population: FlowPopulation,
+    scenario: ScenarioConfig,
+    *,
+    sample_sizes: Sequence[int],
+    trials: int,
+    seeds: Sequence[int] = (2003,),
+    max_depth_points: int = 3,
+    prefix: str = "population",
+) -> "GridSpec":
+    """Analytic multi-rate cells at representative path depths.
+
+    The multiclass adversary's difficulty depends on the rendered path, which
+    the population summarises by its AS-path depth; one cell per distinct
+    depth (up to ``max_depth_points``, evenly subsampled) carries the full
+    rate mix via ``SweepCell.rate_classes``, so its results include the
+    ``matrix[true][predicted]`` confusion counts.
+    """
+    from repro.runner import GridPoint, GridSpec
+
+    if max_depth_points < 1:
+        raise ConfigurationError(
+            f"max_depth_points={max_depth_points!r} must be >= 1"
+        )
+    rates = population.rate_classes
+    if len(rates) < 3:
+        raise ConfigurationError(
+            f"the multi-rate grid needs at least three rate classes, got {rates!r}"
+        )
+    base = _binary_base(scenario, rates)
+    topology = population.topology
+
+    by_depth: Dict[int, int] = {}
+    for as_id in population.sender_ases():
+        depth = topology.path_depth(as_id)
+        # The representative AS of a depth is the lowest inhabited id there.
+        if depth not in by_depth:
+            by_depth[depth] = as_id
+    depths = sorted(by_depth)
+    if len(depths) > max_depth_points:
+        picks = np.linspace(0, len(depths) - 1, max_depth_points)
+        depths = sorted(set(depths[int(round(i))] for i in picks))
+
+    points: List[GridPoint] = []
+    for depth in depths:
+        points.append(
+            GridPoint(
+                key=f"{prefix}/mix/depth={depth}",
+                scenario=topology.scenario_for(base, by_depth[depth]),
+                rate_classes=rates,
+            )
+        )
+    return GridSpec.from_points(
+        f"{prefix}/mix",
+        points,
+        seeds=tuple(seeds),
+        sample_sizes=tuple(sample_sizes),
+        trials=trials,
+        mode=CollectionMode.ANALYTIC,
+    )
+
+
+__all__ = [
+    "Flow",
+    "FlowPopulation",
+    "RateClass",
+    "assemble_population",
+    "hybrid_population_grid",
+    "multiclass_population_grid",
+]

@@ -1,0 +1,140 @@
+"""Population-level anonymity metrics.
+
+Three views of "how exposed is the population":
+
+* **Anonymity sets** — flows that share a gateway (an AS) *and* a rate class
+  are indistinguishable to the rate-classifying adversary; the distribution
+  of those set sizes is the population's structural protection, independent
+  of how well the attack performs.
+* **Identification curve** — the expected fraction of the population whose
+  rate class the adversary identifies at sample size ``n``: each AS's flows
+  weighted by that AS's measured detection rate.
+* **Confusion matrices** — the multi-rate cells' ``matrix[true][predicted]``
+  counts, summed across seeds (and optionally depths) so the report shows
+  one total matrix per feature with rows ordered low-to-high rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.adversary.multiclass import sorted_labels
+from repro.exceptions import AnalysisError
+from repro.population.flows import FlowPopulation
+
+#: feature -> sample size -> true label -> predicted label -> count
+ConfusionByFeature = Dict[str, Dict[int, Dict[str, Dict[str, int]]]]
+
+
+def anonymity_set_distribution(population: FlowPopulation) -> Dict[int, int]:
+    """``set size -> number of sets`` over the (AS, rate class) cells."""
+    distribution: Dict[int, int] = {}
+    for size in population.cell_sizes().values():
+        distribution[size] = distribution.get(size, 0) + 1
+    return dict(sorted(distribution.items()))
+
+
+def anonymity_summary(population: FlowPopulation) -> Dict[str, float]:
+    """Summary statistics of the anonymity-set size distribution."""
+    sizes = sorted(population.cell_sizes().values())
+    if not sizes:
+        raise AnalysisError("the population has no flows")
+    half = len(sizes) // 2
+    if len(sizes) % 2:
+        median = float(sizes[half])
+    else:
+        median = (sizes[half - 1] + sizes[half]) / 2.0
+    return {
+        "n_sets": float(len(sizes)),
+        "min": float(sizes[0]),
+        "median": median,
+        "mean": sum(sizes) / len(sizes),
+        "max": float(sizes[-1]),
+    }
+
+
+def identification_curve(
+    population: FlowPopulation,
+    per_as_rates: Mapping[int, Mapping[int, float]],
+    sample_sizes: Iterable[int],
+) -> Dict[int, float]:
+    """Fraction of the population identified, per sample size.
+
+    ``per_as_rates`` maps ``AS -> sample size -> detection rate`` (one
+    feature's rates from the per-AS sweep).  Each AS contributes its flow
+    count times its detection rate; the sum over ASes, divided by the
+    population size, is the expected identified fraction.
+    """
+    counts = population.flows_per_as()
+    total = sum(counts.values())
+    if total == 0:
+        raise AnalysisError("the population has no flows")
+    curve: Dict[int, float] = {}
+    for n in sample_sizes:
+        identified = 0.0
+        for as_id, n_flows in counts.items():
+            try:
+                rate = per_as_rates[as_id][n]
+            except KeyError:
+                raise AnalysisError(
+                    f"per_as_rates is missing AS {as_id!r} at sample size {n!r}"
+                ) from None
+            identified += n_flows * float(rate)
+        curve[int(n)] = identified / total
+    return curve
+
+
+def aggregate_confusion(results: Iterable[object]) -> ConfusionByFeature:
+    """Sum the confusion matrices of several cell results.
+
+    ``results`` are :class:`~repro.runner.cells.CellResult`-likes; entries
+    without a non-empty ``confusion`` attribute (binary cells, synthetic
+    results) are skipped, so the function degrades to an empty dict when no
+    multi-rate cell ran.  Summing is how multi-seed totals are reported: the
+    per-seed matrices count disjoint trials of the same grid point.
+    """
+    total: ConfusionByFeature = {}
+    for result in results:
+        confusion = getattr(result, "confusion", None)
+        if not confusion:
+            continue
+        for feature, by_n in confusion.items():
+            feature_total = total.setdefault(feature, {})
+            for n, matrix in by_n.items():
+                matrix_total = feature_total.setdefault(int(n), {})
+                for true_label, row in matrix.items():
+                    row_total = matrix_total.setdefault(true_label, {})
+                    for predicted, count in row.items():
+                        row_total[predicted] = row_total.get(predicted, 0) + int(count)
+    return total
+
+
+def confusion_rows(
+    matrix: Mapping[str, Mapping[str, int]]
+) -> Tuple[List[str], List[Tuple[object, ...]]]:
+    """``(headers, rows)`` of one confusion matrix, labels low-to-high.
+
+    Ready for :func:`repro.experiments.report.format_table`: the first
+    column is the true label, the remaining columns the predicted counts.
+    """
+    labels = sorted_labels(
+        set(map(str, matrix)) | {p for row in matrix.values() for p in row}
+    )
+    headers = ["true \\ predicted"] + list(labels)
+    rows: List[Tuple[object, ...]] = []
+    for true_label in labels:
+        row = matrix.get(true_label, {})
+        rows.append(
+            tuple([true_label] + [int(row.get(predicted, 0)) for predicted in labels])
+        )
+    return headers, rows
+
+
+__all__ = [
+    "ConfusionByFeature",
+    "aggregate_confusion",
+    "anonymity_set_distribution",
+    "anonymity_summary",
+    "confusion_rows",
+    "identification_curve",
+]

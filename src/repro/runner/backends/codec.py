@@ -143,6 +143,9 @@ def cell_from_config(key: str, config: Dict[str, Any]) -> SweepCell:
                 tuple(config["noise_offsets"]) if "noise_offsets" in config else None
             ),
             kde_bandwidth=config.get("kde_bandwidth"),
+            rate_classes=(
+                tuple(config["rate_classes"]) if "rate_classes" in config else None
+            ),
         )
     except KeyError as exc:
         raise ConfigurationError(f"cell {key!r}: config is missing {exc}") from None

@@ -421,6 +421,41 @@ def _time_queue(seed: int, workers: int = 2) -> Tuple[float, int]:
     return elapsed, len(cells)
 
 
+def _time_population(seed: int, n_flows: int, repeats: int) -> float:
+    """Population-structure throughput: graph growth, placement, grid compile.
+
+    Times the full deterministic pipeline a population experiment runs
+    before any cell executes — generate the AS topology, place ``n_flows``
+    senders, compile the per-AS grid — so the metric catches regressions in
+    the generator and placement paths, which scale with the population, not
+    with capture cost.
+    """
+    from repro.experiments.base import ScenarioConfig
+    from repro.population import (
+        ASGraphSpec,
+        RateClass,
+        assemble_population,
+        generate_as_topology,
+        hybrid_population_grid,
+    )
+
+    mix = (
+        RateClass(rate_pps=2.0, weight=0.5),
+        RateClass(rate_pps=5.0, weight=0.3),
+        RateClass(rate_pps=10.0, weight=0.2),
+    )
+
+    def one_run():
+        topology = generate_as_topology(ASGraphSpec(n_as=12, seed=seed))
+        population = assemble_population(topology, n_flows, mix, seed)
+        return hybrid_population_grid(
+            population, ScenarioConfig(), sample_sizes=(100,), trials=4
+        )
+
+    elapsed, _ = _best_of(repeats, one_run)
+    return elapsed
+
+
 def run_bench(
     pr: str,
     *,
@@ -461,6 +496,8 @@ def run_bench(
     sweep_cold, sweep_warm, n_cells = _time_sweep(seed)
     serial_seconds, process_seconds, dispatch_cells = _time_backends(seed, repeats)
     queue_seconds, queue_cells = _time_queue(seed)
+    population_flows = 2000
+    population_seconds = _time_population(seed, population_flows, repeats)
 
     low = float(np.var(vectorized_captures["low"], ddof=1))
     high = float(np.var(vectorized_captures["high"], ddof=1))
@@ -484,6 +521,7 @@ def run_bench(
         # floor and the artifact schema requires metrics >= 0.
         "dispatch_overhead_seconds": max(0.0, process_seconds - serial_seconds),
         "queue_cells_per_sec": queue_cells / queue_seconds,
+        "population_flows_per_sec": population_flows / population_seconds,
     }
     notes = {
         "capture_intervals": capture_intervals,
@@ -495,6 +533,8 @@ def run_bench(
         "dispatch_cells": dispatch_cells,
         "queue_workers": 2,
         "queue_seconds": queue_seconds,
+        "population_flows": population_flows,
+        "population_seconds": population_seconds,
         "captures_identical": identical,
         "analytic_crosscheck": {
             "measured_variance_ratio": measured_r,

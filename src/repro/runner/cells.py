@@ -39,11 +39,13 @@ from repro.adversary.detection import (
     train_classifier,
 )
 from repro.adversary.features import get_feature
+from repro.adversary.multiclass import evaluate_multiclass_attack
 from repro.exceptions import AnalysisError, ConfigurationError
 from repro.experiments.base import (
     CollectionMode,
     ScenarioConfig,
     collect_labelled_intervals,
+    collect_multiclass_intervals,
 )
 from repro.runner.capture import (
     CaptureResult,
@@ -110,6 +112,16 @@ class SweepCell:
         (``"silverman"``/``"scott"``) or a float multiplier applied to the
         Silverman bandwidth of the pooled training features.  ``None`` keeps
         the default (per-class Silverman, the paper's estimator).
+    rate_classes:
+        Optional payload-rate mix for the Section 6 multi-rate extension.
+        When set the cell evaluates an m-ary attack over these rates
+        (analytic mode only) instead of the binary low/high attack, and the
+        result additionally carries the full confusion matrices.  Must hold
+        at least three distinct rates whose extremes equal the scenario's
+        ``low_rate_pps``/``high_rate_pps``.  Like ``capture`` and
+        ``kde_bandwidth`` this field enters the fingerprint only when set,
+        so binary cells — and every record in existing stores — are
+        unaffected by its existence.
     """
 
     key: str
@@ -125,6 +137,7 @@ class SweepCell:
     capture: Optional[CaptureSpec] = None
     noise_offsets: Optional[Tuple[str, str]] = None
     kde_bandwidth: Optional[Union[str, float]] = None
+    rate_classes: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.key, str) or not self.key:
@@ -176,8 +189,57 @@ class SweepCell:
             raise ConfigurationError(
                 f"kde_bandwidth={self.kde_bandwidth!r} must be a positive multiplier"
             )
+        if self.rate_classes is not None:
+            object.__setattr__(
+                self, "rate_classes", tuple(float(r) for r in self.rate_classes)
+            )
+            self._validate_rate_classes(self.rate_classes)
         if self.capture is not None:
             self._validate_capture(self.capture)
+
+    def _validate_rate_classes(self, rates: Tuple[float, ...]) -> None:
+        """A multi-rate cell must be analytic and consistent with its scenario."""
+        if self.mode is not CollectionMode.ANALYTIC:
+            raise ConfigurationError(
+                f"cell {self.key!r}: rate_classes require analytic mode "
+                f"(the multi-rate extension has no simulated capture path), "
+                f"got {self.mode.value!r}"
+            )
+        if self.capture is not None:
+            raise ConfigurationError(
+                f"cell {self.key!r}: rate_classes cannot be combined with a "
+                f"shared gateway capture"
+            )
+        if self.kde_bandwidth is not None:
+            raise ConfigurationError(
+                f"cell {self.key!r}: rate_classes cannot be combined with a "
+                f"kde_bandwidth override (the multiclass attack uses the "
+                f"paper's per-class Silverman estimator)"
+            )
+        if len(rates) < 3:
+            raise ConfigurationError(
+                f"cell {self.key!r}: rate_classes={rates!r} must hold at least "
+                f"three rates; use the binary low/high scenario for two"
+            )
+        if len(set(rates)) != len(rates):
+            raise ConfigurationError(
+                f"cell {self.key!r}: rate_classes={rates!r} contain duplicates"
+            )
+        if list(rates) != sorted(rates):
+            raise ConfigurationError(
+                f"cell {self.key!r}: rate_classes={rates!r} must be sorted "
+                f"ascending (the order is fingerprinted)"
+            )
+        if any(rate <= 0.0 for rate in rates):
+            raise ConfigurationError(
+                f"cell {self.key!r}: rate_classes={rates!r} must be positive"
+            )
+        if rates[0] != self.scenario.low_rate_pps or rates[-1] != self.scenario.high_rate_pps:
+            raise ConfigurationError(
+                f"cell {self.key!r}: rate_classes extremes {rates[0]!r}/{rates[-1]!r} "
+                f"must equal the scenario's low/high rates "
+                f"{self.scenario.low_rate_pps!r}/{self.scenario.high_rate_pps!r}"
+            )
 
     def _validate_capture(self, capture: CaptureSpec) -> None:
         """A child cell must be consistent with its parent capture."""
@@ -240,6 +302,8 @@ class SweepCell:
             config["noise_offsets"] = list(self.noise_offsets)
         if self.kde_bandwidth is not None:
             config["kde_bandwidth"] = self.kde_bandwidth
+        if self.rate_classes is not None:
+            config["rate_classes"] = list(self.rate_classes)
         return config
 
     def fingerprint(self) -> str:
@@ -262,12 +326,18 @@ class CellResult:
     measured_variance_ratio: float
     measured_means: Dict[str, float] = field(default_factory=dict)
     piat_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    confusion: Dict[str, Dict[int, Dict[str, Dict[str, int]]]] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     from_cache: bool = False
 
     def to_json_dict(self) -> Dict[str, Any]:
-        """JSON-able payload for the results store (sample sizes become strings)."""
-        return {
+        """JSON-able payload for the results store (sample sizes become strings).
+
+        ``confusion`` (multi-rate cells only) is serialised only when
+        non-empty, so records of binary cells are byte-identical to those
+        written before the field existed.
+        """
+        payload = {
             "empirical_detection_rate": {
                 feature: {str(n): rate for n, rate in by_n.items()}
                 for feature, by_n in self.empirical_detection_rate.items()
@@ -277,6 +347,15 @@ class CellResult:
             "piat_stats": {label: dict(stats) for label, stats in self.piat_stats.items()},
             "elapsed_seconds": self.elapsed_seconds,
         }
+        if self.confusion:
+            payload["confusion"] = {
+                feature: {
+                    str(n): {true: dict(row) for true, row in matrix.items()}
+                    for n, matrix in by_n.items()
+                }
+                for feature, by_n in self.confusion.items()
+            }
+        return payload
 
     @classmethod
     def from_json_dict(
@@ -298,6 +377,16 @@ class CellResult:
             measured_means={k: float(v) for k, v in payload.get("measured_means", {}).items()},
             piat_stats={
                 label: dict(stats) for label, stats in payload.get("piat_stats", {}).items()
+            },
+            confusion={
+                feature: {
+                    int(n): {
+                        true: {pred: int(count) for pred, count in row.items()}
+                        for true, row in matrix.items()
+                    }
+                    for n, matrix in by_n.items()
+                }
+                for feature, by_n in payload.get("confusion", {}).items()
             },
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
             from_cache=from_cache,
@@ -348,6 +437,83 @@ def _measure_detection_rate(
     return float(result.detection_rate)
 
 
+def _collect_piat_stats(test_intervals: Dict[str, np.ndarray]) -> Dict[str, Dict[str, float]]:
+    """Per-class normality statistics of a test capture (Figure 4(a))."""
+    piat_stats: Dict[str, Dict[str, float]] = {}
+    for label, intervals in test_intervals.items():
+        report = normality_report(intervals)
+        piat_stats[label] = {
+            "mean": float(report.mean),
+            "std": float(report.std),
+            "qq_rms_deviation": float(report.qq_rms_deviation),
+            "looks_normal": bool(report.looks_normal),
+        }
+    return piat_stats
+
+
+def _run_multiclass_cell(cell: SweepCell, features: Dict[str, Any], start: float) -> CellResult:
+    """The Section 6 multi-rate path: m-ary attack plus confusion matrices.
+
+    The overall (trial-weighted) detection rate lands in
+    ``empirical_detection_rate`` exactly like the binary path's, so every
+    downstream consumer (aggregation, stores, reports) works unchanged; the
+    full ``matrix[true][predicted]`` counts ride along in ``confusion``.
+    The variance ratio is measured between the extreme rate classes, which
+    by construction equal the scenario's low/high rates.
+    """
+    train_offset, test_offset = cell.seed_offsets
+    assert cell.rate_classes is not None
+    train = collect_multiclass_intervals(
+        cell.scenario,
+        cell.rate_classes,
+        cell.intervals_per_class,
+        seed=cell.seed,
+        seed_offset=train_offset,
+    )
+    test = collect_multiclass_intervals(
+        cell.scenario,
+        cell.rate_classes,
+        cell.intervals_per_class,
+        seed=cell.seed,
+        seed_offset=test_offset,
+    )
+
+    empirical: Dict[str, Dict[int, float]] = {name: {} for name in features}
+    confusion: Dict[str, Dict[int, Dict[str, Dict[str, int]]]] = {name: {} for name in features}
+    for name, feature in features.items():
+        for n in cell.sample_sizes:
+            result = evaluate_multiclass_attack(
+                train.intervals,
+                test.intervals,
+                feature,
+                sample_size=n,
+                max_samples_per_class=cell.trials,
+            )
+            empirical[name][n] = float(result.detection_rate)
+            confusion[name][n] = {
+                true: {pred: int(count) for pred, count in row.items()}
+                for true, row in result.confusion.items()
+            }
+
+    low_label = f"{cell.rate_classes[0]:g}"
+    high_label = f"{cell.rate_classes[-1]:g}"
+    low_var = float(np.var(test.intervals[low_label], ddof=1))
+    high_var = float(np.var(test.intervals[high_label], ddof=1))
+    if low_var <= 0.0:
+        raise ConfigurationError(f"cell {cell.key!r}: lowest-rate capture has zero variance")
+
+    return CellResult(
+        key=cell.key,
+        fingerprint=cell.fingerprint(),
+        empirical_detection_rate=empirical,
+        measured_variance_ratio=high_var / low_var,
+        measured_means={k: float(v) for k, v in test.measured_means().items()},
+        piat_stats=_collect_piat_stats(test.intervals) if cell.collect_piat_stats else {},
+        confusion=confusion,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
 def run_cell(cell: SweepCell, capture: Optional[CaptureResult] = None) -> CellResult:
     """Execute one cell: capture, attack, summarise.
 
@@ -364,6 +530,9 @@ def run_cell(cell: SweepCell, capture: Optional[CaptureResult] = None) -> CellRe
         }
     except AnalysisError as exc:
         raise ConfigurationError(f"cell {cell.key!r}: {exc}") from exc
+
+    if cell.rate_classes is not None:
+        return _run_multiclass_cell(cell, features, start)
 
     train_offset, test_offset = cell.seed_offsets
     if cell.capture is not None:
@@ -414,16 +583,7 @@ def run_cell(cell: SweepCell, capture: Optional[CaptureResult] = None) -> CellRe
                 cell, train.intervals, test.intervals, feature, n
             )
 
-    piat_stats: Dict[str, Dict[str, float]] = {}
-    if cell.collect_piat_stats:
-        for label, intervals in test.intervals.items():
-            report = normality_report(intervals)
-            piat_stats[label] = {
-                "mean": float(report.mean),
-                "std": float(report.std),
-                "qq_rms_deviation": float(report.qq_rms_deviation),
-                "looks_normal": bool(report.looks_normal),
-            }
+    piat_stats = _collect_piat_stats(test.intervals) if cell.collect_piat_stats else {}
 
     return CellResult(
         key=cell.key,

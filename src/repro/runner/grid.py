@@ -74,6 +74,10 @@ class GridPoint:
     gateway capture is factored into a cacheable
     :class:`~repro.runner.capture.CaptureSpec` shared with every other point
     that has the same gateway configuration and seed offsets.
+
+    ``rate_classes`` marks the point as a Section 6 multi-rate cell
+    (analytic grids only); it is forwarded verbatim to the cell, whose
+    validation enforces the mode and rate constraints.
     """
 
     key: str
@@ -82,6 +86,7 @@ class GridPoint:
     shared_capture: bool = False
     capture_key: Optional[str] = None
     noise_offsets: Optional[Tuple[str, str]] = None
+    rate_classes: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.key, str) or not self.key:
@@ -94,6 +99,10 @@ class GridPoint:
         if self.noise_offsets is not None:
             object.__setattr__(
                 self, "noise_offsets", tuple(str(o) for o in self.noise_offsets)
+            )
+        if self.rate_classes is not None:
+            object.__setattr__(
+                self, "rate_classes", tuple(float(r) for r in self.rate_classes)
             )
 
 
@@ -274,6 +283,7 @@ class GridSpec:
                         capture=capture,
                         noise_offsets=point.noise_offsets if hybrid else None,
                         kde_bandwidth=self.kde_bandwidth,
+                        rate_classes=point.rate_classes,
                     )
                 )
         return cells

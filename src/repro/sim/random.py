@@ -43,6 +43,7 @@ DECLARED_STREAMS: Tuple[str, ...] = (
     "net-noise-*",  # hybrid analytic network noise: net-noise-<tag>-<label>
     "payload",  # payload source (no class split)
     "payload-*",  # payload source: payload-<label>
+    "population-*",  # population subsystem: AS-graph growth, flow placement, rate mix
 )
 
 

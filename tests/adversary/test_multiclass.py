@@ -10,7 +10,11 @@ from repro.adversary import (
     evaluate_multiclass_attack,
     per_class_detection_rates,
 )
-from repro.adversary.multiclass import overall_detection_rate, random_guessing_rate
+from repro.adversary.multiclass import (
+    overall_detection_rate,
+    random_guessing_rate,
+    sorted_labels,
+)
 from repro.exceptions import AnalysisError
 
 
@@ -39,6 +43,23 @@ class TestConfusionMatrix:
     def test_overall_rate(self):
         matrix = confusion_matrix(["a", "a", "b", "b"], ["a", "b", "b", "b"])
         assert overall_detection_rate(matrix) == pytest.approx(0.75)
+
+    def test_numeric_labels_order_by_value_not_lexicographically(self):
+        """Regression: "10" must sort after "2"/"5", not before them.
+
+        Rate-class labels are numeric strings; lexicographic ordering put
+        the 10-pps row first and scrambled every rendered matrix.
+        """
+        matrix = confusion_matrix(["2", "5", "10"], ["2", "5", "10"])
+        assert list(matrix) == ["2", "5", "10"]
+        assert all(list(row) == ["2", "5", "10"] for row in matrix.values())
+
+    def test_sorted_labels_numeric_and_fallback(self):
+        assert sorted_labels({"10", "2", "5.5"}) == ["2", "5.5", "10"]
+        # Equal values in different spellings stay total and deterministic.
+        assert sorted_labels({"2.0", "2"}) == ["2", "2.0"]
+        # A single non-numeric label falls back to plain string order.
+        assert sorted_labels({"10", "2", "low"}) == ["10", "2", "low"]
 
 
 class TestRandomGuessing:

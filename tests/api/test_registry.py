@@ -31,6 +31,7 @@ EXPECTED_NAMES = {
     "ablation_estimators",
     "ablation_tap",
     "ablation_vit",
+    "population",
 }
 
 

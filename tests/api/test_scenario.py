@@ -8,6 +8,7 @@ from repro.api import (
     TOML_AVAILABLE,
     Experiment,
     ScenarioExperiment,
+    ScenarioPoint,
     ScenarioSpec,
     parse_policy,
     run_experiment,
@@ -141,6 +142,129 @@ class TestScenarioSpec:
         ]
 
 
+def points_spec_dict():
+    """A scenario enumerating explicit [[points]] instead of a [grid]."""
+    return {
+        "name": "named_points",
+        "title": "Curated defence configurations",
+        "base": {"policy": "cit", "n_hops": 5, "cross_utilization": 0.2},
+        "points": [
+            {"key": "baseline"},
+            {"key": "short-path", "n_hops": 1, "cross_utilization": 0.1},
+            {"key": "vit", "policy": "vit:1e-4"},
+        ],
+        "run": {"mode": "analytic", "sample_sizes": [200], "trials": 4, "seed": 7},
+    }
+
+
+POINTS_TOML = """\
+name = "named_points"
+title = "Curated defence configurations"
+
+[base]
+policy = "cit"
+n_hops = 5
+cross_utilization = 0.2
+
+[[points]]
+key = "baseline"
+
+[[points]]
+key = "short-path"
+n_hops = 1
+cross_utilization = 0.1
+
+[[points]]
+key = "vit"
+policy = "vit:1e-4"
+
+[run]
+mode = "analytic"
+sample_sizes = [200]
+trials = 4
+seed = 7
+"""
+
+
+class TestScenarioPoints:
+    def test_points_compile_to_explicit_grid_points(self):
+        spec = ScenarioSpec.from_dict(points_spec_dict())
+        cells = ScenarioExperiment(spec).cells()
+        assert [cell.key for cell in cells] == [
+            "named_points/baseline",
+            "named_points/short-path",
+            "named_points/vit",
+        ]
+        by_key = {cell.key: cell.scenario for cell in cells}
+        assert by_key["named_points/baseline"].n_hops == 5
+        assert by_key["named_points/short-path"].n_hops == 1
+        assert by_key["named_points/short-path"].cross_utilization == 0.1
+        assert by_key["named_points/vit"].policy.kind == "VIT"
+        # Un-overridden fields come from [base].
+        assert by_key["named_points/vit"].n_hops == 5
+
+    def test_dict_round_trip_preserves_cells_and_fingerprints(self):
+        spec = ScenarioSpec.from_dict(points_spec_dict())
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert [
+            (c.key, c.fingerprint()) for c in ScenarioExperiment(spec).cells()
+        ] == [(c.key, c.fingerprint()) for c in ScenarioExperiment(rebuilt).cells()]
+
+    def test_override_order_is_canonical(self):
+        a = ScenarioPoint(key="p", overrides={"n_hops": 1, "cross_utilization": 0.1})
+        b = ScenarioPoint(key="p", overrides={"cross_utilization": 0.1, "n_hops": 1})
+        assert a == b
+
+    def test_points_and_grid_are_mutually_exclusive(self):
+        document = points_spec_dict()
+        document["grid"] = {"hops": [1, 5]}
+        with pytest.raises(ConfigurationError, match="not both"):
+            ScenarioSpec.from_dict(document)
+
+    def test_duplicate_point_keys_rejected(self):
+        document = points_spec_dict()
+        document["points"] = [{"key": "same"}, {"key": "same", "n_hops": 1}]
+        with pytest.raises(ConfigurationError, match="unique"):
+            ScenarioSpec.from_dict(document)
+
+    def test_unknown_override_field_rejected(self):
+        document = points_spec_dict()
+        document["points"] = [{"key": "p", "bandwidth": 1}]
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            ScenarioSpec.from_dict(document)
+
+    def test_key_is_required_and_key_safe(self):
+        document = points_spec_dict()
+        document["points"] = [{"n_hops": 1}]
+        with pytest.raises(ConfigurationError, match="key"):
+            ScenarioSpec.from_dict(document)
+        document["points"] = [{"key": "bad/key"}]
+        with pytest.raises(ConfigurationError, match="key"):
+            ScenarioSpec.from_dict(document)
+
+    def test_empty_points_rejected(self):
+        document = points_spec_dict()
+        document["points"] = []
+        with pytest.raises(ConfigurationError, match="at least one"):
+            ScenarioSpec.from_dict(document)
+
+    @needs_toml
+    def test_toml_points_match_the_dict_form(self, tmp_path):
+        path = tmp_path / "points.toml"
+        path.write_text(POINTS_TOML)
+        from_file = ScenarioSpec.from_toml(path)
+        from_dict = ScenarioSpec.from_dict(points_spec_dict())
+        assert [
+            (c.key, c.fingerprint()) for c in ScenarioExperiment(from_file).cells()
+        ] == [(c.key, c.fingerprint()) for c in ScenarioExperiment(from_dict).cells()]
+
+    def test_runs_end_to_end(self):
+        spec = ScenarioSpec.from_dict(points_spec_dict())
+        outcome = run_experiment(ScenarioExperiment(spec))
+        text = outcome.to_text()
+        assert "baseline" in text and "short-path" in text and "vit" in text
+
+
 class TestTomlLoading:
     pytestmark = needs_toml
 
@@ -167,17 +291,21 @@ class TestTomlLoading:
         with pytest.raises(ConfigurationError, match="not valid TOML"):
             ScenarioSpec.from_toml(path)
 
-    def test_committed_example_scenario_parses(self):
+    def test_committed_example_scenarios_parse(self):
+        """Every gallery file under examples/scenarios/ loads and expands."""
         from pathlib import Path
 
-        example = (
-            Path(__file__).resolve().parent.parent.parent
-            / "examples"
-            / "scenarios"
-            / "wan_smoke.toml"
+        gallery = (
+            Path(__file__).resolve().parent.parent.parent / "examples" / "scenarios"
         )
-        spec = ScenarioSpec.from_toml(example)
-        assert ScenarioExperiment(spec).cells()
+        files = sorted(gallery.glob("*.toml"))
+        assert len(files) >= 3  # wan_smoke + the PR 10 additions
+        names = set()
+        for example in files:
+            spec = ScenarioSpec.from_toml(example)
+            assert ScenarioExperiment(spec).cells()
+            names.add(spec.name)
+        assert "population_smoke" in names  # the population gallery entry
 
 
 class TestScenarioExperiment:

@@ -123,3 +123,19 @@ class TestTopologyGraph:
     def test_edges_carry_link_rate(self):
         graph = topology_graph(lab_topology())
         assert all("link_rate_bps" in data for _, _, data in graph.edges(data=True))
+
+    def test_graph_is_connected(self):
+        for spec in (lab_topology(0.0), campus_topology(), wan_topology()):
+            assert nx.is_weakly_connected(topology_graph(spec))
+
+    def test_zero_hop_path_connects_the_gateways_directly(self):
+        graph = topology_graph(TopologySpec(name="direct", n_hops=0))
+        assert nx.shortest_path(graph, "subnet-A", "subnet-B") == [
+            "subnet-A", "GW1", "GW2", "subnet-B",
+        ]
+
+    def test_view_is_deterministic(self):
+        spec = campus_topology()
+        a, b = topology_graph(spec), topology_graph(spec)
+        assert sorted(a.nodes) == sorted(b.nodes)
+        assert sorted(a.edges) == sorted(b.edges)

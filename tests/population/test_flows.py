@@ -1,0 +1,154 @@
+"""Tests for flow placement, the rate mix, and the compiled sweep grids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.base import CollectionMode, ScenarioConfig
+from repro.population import (
+    ASGraphSpec,
+    RateClass,
+    assemble_population,
+    generate_as_topology,
+    hybrid_population_grid,
+    multiclass_population_grid,
+)
+
+MIX = (
+    RateClass(rate_pps=2.0, weight=0.5),
+    RateClass(rate_pps=5.0, weight=0.3),
+    RateClass(rate_pps=10.0, weight=0.2),
+)
+
+
+@pytest.fixture
+def topology():
+    return generate_as_topology(ASGraphSpec(n_as=8, seed=2003))
+
+
+@pytest.fixture
+def population(topology):
+    return assemble_population(topology, 200, MIX, seed=2003)
+
+
+class TestRateClass:
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ConfigurationError):
+            RateClass(rate_pps=0.0, weight=1.0)
+        with pytest.raises(ConfigurationError):
+            RateClass(rate_pps=1.0, weight=0.0)
+
+
+class TestAssemblePopulation:
+    def test_places_every_flow_outside_the_core(self, topology, population):
+        assert len(population.flows) == 200
+        assert all(flow.as_id != topology.core_as for flow in population.flows)
+
+    def test_rates_come_from_the_mix(self, population):
+        assert set(population.rate_classes) <= {rc.rate_pps for rc in MIX}
+        assert population.rate_classes == tuple(sorted(population.rate_classes))
+
+    def test_same_seed_reproduces_the_population(self, topology):
+        a = assemble_population(topology, 200, MIX, seed=2003)
+        b = assemble_population(topology, 200, MIX, seed=2003)
+        assert a.flows == b.flows
+
+    def test_different_seed_moves_the_flows(self, topology):
+        a = assemble_population(topology, 200, MIX, seed=2003)
+        b = assemble_population(topology, 200, MIX, seed=2004)
+        assert a.flows != b.flows
+
+    def test_changing_the_mix_keeps_the_placement(self, topology):
+        """Placement and rate draws use separate streams by design."""
+        other_mix = tuple(
+            RateClass(rate_pps=rc.rate_pps * 3, weight=rc.weight) for rc in MIX
+        )
+        a = assemble_population(topology, 200, MIX, seed=2003)
+        b = assemble_population(topology, 200, other_mix, seed=2003)
+        assert [f.as_id for f in a.flows] == [f.as_id for f in b.flows]
+
+    def test_validation(self, topology):
+        with pytest.raises(ConfigurationError):
+            assemble_population(topology, 0, MIX, seed=1)
+        with pytest.raises(ConfigurationError):
+            assemble_population(topology, 10, (), seed=1)
+        duplicated = (MIX[0], MIX[0], MIX[1])
+        with pytest.raises(ConfigurationError):
+            assemble_population(topology, 10, duplicated, seed=1)
+
+
+class TestPopulationViews:
+    def test_flows_per_as_sums_to_the_population(self, population):
+        assert sum(population.flows_per_as().values()) == len(population.flows)
+
+    def test_cell_sizes_partition_the_population(self, population):
+        sizes = population.cell_sizes()
+        assert sum(sizes.values()) == len(population.flows)
+        assert all(as_id in population.sender_ases() for as_id, _ in sizes)
+
+    def test_sender_ases_sorted(self, population):
+        ases = population.sender_ases()
+        assert list(ases) == sorted(ases)
+
+
+class TestHybridGrid:
+    def test_one_point_per_inhabited_as_sharing_one_capture(self, population):
+        grid = hybrid_population_grid(
+            population, ScenarioConfig(), sample_sizes=(100,), trials=4
+        )
+        assert len(grid.points) == len(population.sender_ases())
+        assert all(point.shared_capture for point in grid.points)
+        assert len({point.capture_key for point in grid.points}) == 1
+        # Per-AS noise salts stay distinct so path noise is independent.
+        assert len({point.noise_offsets for point in grid.points}) == len(grid.points)
+
+    def test_binary_pair_is_the_mix_extremes(self, population):
+        grid = hybrid_population_grid(
+            population, ScenarioConfig(), sample_sizes=(100,), trials=4
+        )
+        rates = population.rate_classes
+        for point in grid.points:
+            assert point.scenario.low_rate_pps == rates[0]
+            assert point.scenario.high_rate_pps == rates[-1]
+
+    def test_cell_fingerprints_are_reproducible(self, topology):
+        """Two independent constructions yield byte-identical cell identity."""
+        grids = []
+        for _ in range(2):
+            population = assemble_population(topology, 200, MIX, seed=2003)
+            grids.append(
+                hybrid_population_grid(
+                    population, ScenarioConfig(), sample_sizes=(100,), trials=4
+                )
+            )
+        a = [(c.key, c.fingerprint()) for c in grids[0].cells()]
+        b = [(c.key, c.fingerprint()) for c in grids[1].cells()]
+        assert a == b
+
+
+class TestMulticlassGrid:
+    def test_points_carry_the_full_mix(self, population):
+        grid = multiclass_population_grid(
+            population, ScenarioConfig(), sample_sizes=(100,), trials=4
+        )
+        assert grid.mode is CollectionMode.ANALYTIC
+        assert 1 <= len(grid.points) <= 3
+        for point in grid.points:
+            assert point.rate_classes == population.rate_classes
+            assert point.key.startswith("population/mix/depth=")
+
+    def test_depth_subsampling_honours_the_cap(self, population):
+        grid = multiclass_population_grid(
+            population, ScenarioConfig(), sample_sizes=(100,), trials=4,
+            max_depth_points=1,
+        )
+        assert len(grid.points) == 1
+
+    def test_requires_three_rate_classes(self, topology):
+        two_rate_mix = (MIX[0], MIX[1])
+        population = assemble_population(topology, 50, two_rate_mix, seed=2003)
+        with pytest.raises(ConfigurationError, match="three"):
+            multiclass_population_grid(
+                population, ScenarioConfig(), sample_sizes=(100,), trials=4
+            )

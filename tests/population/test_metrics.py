@@ -1,0 +1,111 @@
+"""Tests for anonymity-set, identification-curve and confusion aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.population import (
+    ASGraphSpec,
+    aggregate_confusion,
+    anonymity_set_distribution,
+    anonymity_summary,
+    generate_as_topology,
+    identification_curve,
+)
+from repro.population.flows import Flow, FlowPopulation
+from repro.population.metrics import confusion_rows
+
+
+@dataclass
+class FakeResult:
+    confusion: Dict = field(default_factory=dict)
+
+
+def hand_population():
+    """Six flows over two ASes and two rates, with known cell sizes."""
+    topology = generate_as_topology(ASGraphSpec(n_as=5, seed=2003))
+    sender_a, sender_b = [
+        as_id for as_id in range(5) if as_id != topology.core_as
+    ][:2]
+    flows = (
+        Flow(0, sender_a, 2.0),
+        Flow(1, sender_a, 2.0),
+        Flow(2, sender_a, 2.0),
+        Flow(3, sender_a, 10.0),
+        Flow(4, sender_b, 2.0),
+        Flow(5, sender_b, 2.0),
+    )
+    return FlowPopulation(topology=topology, flows=flows), sender_a, sender_b
+
+
+class TestAnonymitySets:
+    def test_distribution_counts_cells_by_size(self):
+        population, _, _ = hand_population()
+        # Cells: (a, 2)->3, (a, 10)->1, (b, 2)->2.
+        assert anonymity_set_distribution(population) == {1: 1, 2: 1, 3: 1}
+
+    def test_summary_statistics(self):
+        population, _, _ = hand_population()
+        stats = anonymity_summary(population)
+        assert stats["n_sets"] == 3.0
+        assert stats["min"] == 1.0
+        assert stats["median"] == 2.0
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["max"] == 3.0
+
+    def test_empty_population_rejected(self):
+        topology = generate_as_topology(ASGraphSpec(n_as=5, seed=2003))
+        empty = FlowPopulation(topology=topology, flows=())
+        with pytest.raises(AnalysisError):
+            anonymity_summary(empty)
+
+
+class TestIdentificationCurve:
+    def test_weights_each_as_by_its_flow_count(self):
+        population, sender_a, sender_b = hand_population()
+        rates = {sender_a: {100: 0.5}, sender_b: {100: 1.0}}
+        curve = identification_curve(population, rates, [100])
+        # (4 flows * 0.5 + 2 flows * 1.0) / 6
+        assert curve[100] == pytest.approx(4.0 / 6.0)
+
+    def test_missing_as_fails_loudly(self):
+        population, sender_a, _ = hand_population()
+        with pytest.raises(AnalysisError, match="missing AS"):
+            identification_curve(population, {sender_a: {100: 0.5}}, [100])
+
+    def test_missing_sample_size_fails_loudly(self):
+        population, sender_a, sender_b = hand_population()
+        rates = {sender_a: {100: 0.5}, sender_b: {100: 1.0}}
+        with pytest.raises(AnalysisError, match="sample size"):
+            identification_curve(population, rates, [500])
+
+
+class TestAggregateConfusion:
+    def test_sums_across_results(self):
+        matrix = {"variance": {100: {"2": {"2": 3, "10": 1}, "10": {"10": 4}}}}
+        total = aggregate_confusion([FakeResult(matrix), FakeResult(matrix)])
+        assert total["variance"][100]["2"]["2"] == 6
+        assert total["variance"][100]["2"]["10"] == 2
+        assert total["variance"][100]["10"]["10"] == 8
+
+    def test_skips_results_without_confusion(self):
+        matrix = {"mean": {50: {"2": {"2": 1}}}}
+        total = aggregate_confusion(
+            [FakeResult(), object(), FakeResult(matrix)]
+        )
+        assert total == matrix
+
+    def test_degrades_to_empty(self):
+        assert aggregate_confusion([object(), FakeResult()]) == {}
+
+
+class TestConfusionRows:
+    def test_rows_order_numerically_and_zero_fill(self):
+        matrix = {"10": {"10": 4, "2": 1}, "2": {"2": 3}}
+        headers, rows = confusion_rows(matrix)
+        assert headers == ["true \\ predicted", "2", "10"]
+        assert rows == [("2", 3, 0), ("10", 1, 4)]

@@ -174,6 +174,7 @@ class TestRunBench:
             "process_dispatch_seconds",
             "dispatch_overhead_seconds",
             "queue_cells_per_sec",
+            "population_flows_per_sec",
         } == set(result.metrics)
         # dispatch_overhead is clamped at 0.0 (a loaded machine can time the
         # pool under the serial loop); everything else must be positive.
